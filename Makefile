@@ -1,0 +1,36 @@
+# Convenience targets for the mergepath reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench experiments fmt
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core ./internal/psort ./internal/spm \
+		./internal/kway ./internal/setops ./internal/sched ./internal/baseline
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table of EXPERIMENTS.md (laptop-scale sizes).
+experiments:
+	$(GO) run ./cmd/mergebench -experiment all -sizes 1M,4M -reps 3
+	$(GO) run ./cmd/sortbench -experiment all -sizes 1M
+	$(GO) run ./cmd/cachesim -experiment all -elements 65536
+	$(GO) run ./cmd/crewcheck -elements 65536
+
+fmt:
+	gofmt -w .

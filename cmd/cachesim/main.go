@@ -1,0 +1,53 @@
+// Command cachesim regenerates the §IV cache experiments on the trace-driven
+// simulator: E5 (basic vs segmented merge traffic), E6 (associativity needed
+// by SPM), the private-cache coherence measurement, and E8 (merge-round
+// traffic of the two sort variants).
+//
+// Usage:
+//
+//	cachesim -experiment spm
+//	cachesim -experiment all -elements 131072
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mergepath/internal/harness"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "one of: spm, assoc, private, sort, fig5, all")
+		elements   = flag.Int("elements", 1<<17, "elements per input array (simulation is per-access; keep modest)")
+		seed       = flag.Int64("seed", 7, "workload seed")
+		lineBytes  = flag.Int("line", 64, "cache line size in bytes")
+	)
+	flag.Parse()
+
+	opt := harness.CacheOptions{Elements: *elements, Seed: *seed, LineBytes: *lineBytes}
+	experiments := map[string]func(harness.CacheOptions) *harness.Table{
+		"spm":     harness.SPMvsBasic,
+		"fig5":    harness.Fig5Roofline,
+		"assoc":   harness.Associativity,
+		"private": harness.PrivateCaches,
+		"sort":    harness.SortCacheTraffic,
+	}
+	order := []string{"spm", "assoc", "private", "sort", "fig5"}
+	switch *experiment {
+	case "all":
+		for _, name := range order {
+			fmt.Println(experiments[name](opt))
+		}
+	default:
+		f, ok := experiments[*experiment]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cachesim: unknown experiment %q (want one of %s, all)\n",
+				*experiment, strings.Join(order, ", "))
+			os.Exit(1)
+		}
+		fmt.Println(f(opt))
+	}
+}

@@ -1,0 +1,79 @@
+// Command mergebench regenerates the paper's merge evaluation: Figure 5
+// (speedup vs threads per input size), the §VI single-thread overhead
+// remark, the Theorem 14 partition-cost check, the E4 load-balance
+// comparison, the §V related-work comparison, and the SPM window ablation.
+//
+// Usage:
+//
+//	mergebench -experiment fig5 -sizes 1M,4M,16M -threads 1,2,4,6,8,10,12 -reps 5
+//	mergebench -experiment all
+//
+// Sizes accept K/M suffixes and count elements per input array (the output
+// is twice that, as in the paper: total memory = 4*|A|*sizeof(elem)).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mergepath/internal/cliutil"
+	"mergepath/internal/harness"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all",
+			"one of: fig5, fig5sim, overhead, partition, balance, related, window, kway, hierarchical, networks, setops, all")
+		sizes   = flag.String("sizes", "1M,4M", "per-array element counts, K/M suffixes allowed")
+		threads = flag.String("threads", "1,2,4,6,8,10,12", "worker counts")
+		reps    = flag.Int("reps", 5, "timed repetitions (median reported)")
+		warmup  = flag.Int("warmup", 1, "warmup runs")
+		seed    = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	opt := harness.Options{Reps: *reps, Warmup: *warmup, Seed: *seed}
+	var err error
+	if opt.Sizes, err = cliutil.ParseSizes(*sizes); err != nil {
+		fatal(err)
+	}
+	if opt.Threads, err = cliutil.ParsePositiveInts(*threads); err != nil {
+		fatal(err)
+	}
+
+	experiments := map[string]func(harness.Options) *harness.Table{
+		"fig5":         harness.Fig5,
+		"fig5sim":      harness.Fig5Simulated,
+		"overhead":     harness.Overhead,
+		"partition":    harness.PartitionCost,
+		"balance":      harness.LoadBalance,
+		"related":      harness.RelatedWork,
+		"window":       harness.WindowSweep,
+		"kway":         harness.KWay,
+		"hierarchical": harness.Hierarchical,
+		"networks":     harness.SortNetworks,
+		"setops":       harness.SetOps,
+	}
+	order := []string{"fig5", "fig5sim", "overhead", "partition", "balance", "related", "window", "kway", "hierarchical", "networks", "setops"}
+
+	switch *experiment {
+	case "all":
+		for _, name := range order {
+			fmt.Println(experiments[name](opt))
+		}
+	default:
+		f, ok := experiments[*experiment]
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q (want one of %s, all)",
+				*experiment, strings.Join(order, ", ")))
+		}
+		fmt.Println(f(opt))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mergebench:", err)
+	os.Exit(1)
+}

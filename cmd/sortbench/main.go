@@ -1,0 +1,53 @@
+// Command sortbench regenerates the sorting-side experiments: E7 (the
+// parallel merge sort speedup ladder of §III) and the external-sort
+// extension (block I/O on a simulated device).
+//
+// Usage:
+//
+//	sortbench -sizes 1M,4M -threads 1,2,4,6,8,10,12 -reps 5
+//	sortbench -experiment external
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mergepath/internal/cliutil"
+	"mergepath/internal/harness"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "speedup", "one of: speedup, external, all")
+		sizes      = flag.String("sizes", "1M,4M", "element counts, K/M suffixes allowed")
+		threads    = flag.String("threads", "1,2,4,6,8,10,12", "worker counts")
+		reps       = flag.Int("reps", 5, "timed repetitions (median reported)")
+		warmup     = flag.Int("warmup", 1, "warmup runs")
+		seed       = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	opt := harness.Options{Reps: *reps, Warmup: *warmup, Seed: *seed}
+	var err error
+	if opt.Sizes, err = cliutil.ParseSizes(*sizes); err != nil {
+		fmt.Fprintln(os.Stderr, "sortbench:", err)
+		os.Exit(1)
+	}
+	if opt.Threads, err = cliutil.ParsePositiveInts(*threads); err != nil {
+		fmt.Fprintln(os.Stderr, "sortbench:", err)
+		os.Exit(1)
+	}
+	switch *experiment {
+	case "speedup":
+		fmt.Println(harness.SortSpeedup(opt))
+	case "external":
+		fmt.Println(harness.ExternalSortIO(opt))
+	case "all":
+		fmt.Println(harness.SortSpeedup(opt))
+		fmt.Println(harness.ExternalSortIO(opt))
+	default:
+		fmt.Fprintf(os.Stderr, "sortbench: unknown experiment %q\n", *experiment)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,72 @@
+package mergepath_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// End-to-end smoke tests: every command-line tool must run to completion
+// with tiny inputs and print its table. These compile and execute the real
+// binaries via `go run`, so they take a few seconds; skipped under -short.
+func runTool(t *testing.T, args ...string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("e2e tool runs are skipped in short mode")
+	}
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v failed: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestMergebenchE2E(t *testing.T) {
+	out := runTool(t, "./cmd/mergebench", "-experiment", "balance", "-sizes", "4K", "-reps", "1")
+	if !strings.Contains(out, "merge path") || !strings.Contains(out, "shiloach-vishkin") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestMergebenchE2EBadFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e tool runs are skipped in short mode")
+	}
+	cmd := exec.Command("go", "run", "./cmd/mergebench", "-experiment", "nope", "-sizes", "1K", "-reps", "1")
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Fatalf("unknown experiment should fail:\n%s", out)
+	}
+	cmd = exec.Command("go", "run", "./cmd/mergebench", "-sizes", "bogus")
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Fatalf("bad sizes should fail:\n%s", out)
+	}
+}
+
+func TestSortbenchE2E(t *testing.T) {
+	out := runTool(t, "./cmd/sortbench", "-experiment", "external", "-sizes", "16K")
+	if !strings.Contains(out, "external merge sort") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestCachesimE2E(t *testing.T) {
+	out := runTool(t, "./cmd/cachesim", "-experiment", "private", "-elements", "4096")
+	if !strings.Contains(out, "coherence traffic") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestCrewcheckE2E(t *testing.T) {
+	out := runTool(t, "./cmd/crewcheck", "-elements", "2048")
+	if !strings.Contains(out, "CREW conformance: PASS") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestPathvizE2E(t *testing.T) {
+	out := runTool(t, "./cmd/pathviz", "-a", "1,3,5", "-b", "2,4", "-p", "2")
+	if !strings.Contains(out, "Merge matrix") || !strings.Contains(out, "merged: [1 2 3 4 5]") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}

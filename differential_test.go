@@ -1,0 +1,113 @@
+package mergepath_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mergepath"
+	"mergepath/internal/baseline"
+	"mergepath/internal/bitonic"
+	"mergepath/internal/core"
+	"mergepath/internal/spm"
+	"mergepath/internal/verify"
+	"mergepath/internal/workload"
+)
+
+// TestDifferentialMergers runs every merge implementation in the
+// repository over the full workload grid and checks they all produce the
+// byte-identical stable merge — the single table that catches a divergence
+// anywhere in the family.
+func TestDifferentialMergers(t *testing.T) {
+	type merger struct {
+		name string
+		run  func(a, b, out []int32, p int)
+	}
+	mergers := []merger{
+		{"core.Merge", func(a, b, out []int32, p int) { core.Merge(a, b, out) }},
+		{"core.MergeBranchFree", func(a, b, out []int32, p int) { core.MergeBranchFree(a, b, out) }},
+		{"core.ParallelMerge", core.ParallelMerge[int32]},
+		{"core.Hierarchical", func(a, b, out []int32, p int) {
+			core.HierarchicalMerge(a, b, out, core.HierarchicalConfig{Blocks: max(p/2, 1), TeamSize: 2})
+		}},
+		{"spm.Merge", func(a, b, out []int32, p int) {
+			spm.Merge(a, b, out, spm.Config{Window: 64, Workers: p})
+		}},
+		{"baseline.Sequential", func(a, b, out []int32, p int) { baseline.SequentialMerge(a, b, out) }},
+		{"baseline.AklSantoro", baseline.AklSantoroMerge[int32]},
+		{"baseline.DeoSarkar", baseline.DeoSarkarMerge[int32]},
+		{"baseline.ShiloachVishkin", baseline.ShiloachVishkinMerge[int32]},
+		{"bitonic.MergeParallel", bitonic.MergeParallel[int32]},
+	}
+
+	rng := rand.New(rand.NewSource(220))
+	for _, kind := range workload.Kinds() {
+		for _, sizes := range [][2]int{{0, 17}, {33, 0}, {257, 129}, {1000, 1500}} {
+			a, b := workload.Pair(kind, sizes[0], sizes[1], 9)
+			want := verify.ReferenceMerge(a, b)
+			for _, p := range []int{1, 3, 8} {
+				for _, m := range mergers {
+					t.Run(fmt.Sprintf("%s/%s/%dx%d/p%d", m.name, kind, sizes[0], sizes[1], p), func(t *testing.T) {
+						out := make([]int32, len(a)+len(b))
+						m.run(a, b, out, p)
+						// The bitonic network is not stable, but on plain
+						// values the merged output is still unique.
+						if !verify.Equal(out, want) {
+							t.Fatalf("diverges from reference at first diff %d", firstDiff(out, want))
+						}
+					})
+				}
+			}
+		}
+		_ = rng
+	}
+}
+
+// TestDifferentialSorters does the same across every sorting
+// implementation.
+func TestDifferentialSorters(t *testing.T) {
+	type sorter struct {
+		name string
+		run  func(s []int32, p int)
+	}
+	sorters := []sorter{
+		{"psort.Sort", func(s []int32, p int) { mergepath.Sort(s, p) }},
+		{"psort.Dataflow", func(s []int32, p int) { mergepath.SortDataflow(s, p, 64) }},
+		{"psort.CacheEfficient", func(s []int32, p int) { mergepath.CacheEfficientSort(s, 512, p) }},
+		{"bitonic.Sort", func(s []int32, p int) { bitonic.SortParallel(s, p) }},
+		{"bitonic.OddEven", func(s []int32, p int) { bitonic.OddEvenSortParallel(s, p) }},
+	}
+	rng := rand.New(rand.NewSource(221))
+	for trial := 0; trial < 12; trial++ {
+		n := rng.Intn(4000)
+		data := workload.Unsorted(rng, n)
+		want := append([]int32(nil), data...)
+		insertionSortHelper(want)
+		for _, p := range []int{1, 4} {
+			for _, s := range sorters {
+				got := append([]int32(nil), data...)
+				s.run(got, p)
+				if !verify.Equal(got, want) {
+					t.Fatalf("%s n=%d p=%d: diverges at %d", s.name, n, p, firstDiff(got, want))
+				}
+			}
+		}
+	}
+}
+
+func firstDiff(a, b []int32) int {
+	for i := range a {
+		if i >= len(b) || a[i] != b[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+func insertionSortHelper(s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package mergepath_test
+
+import (
+	"fmt"
+
+	"mergepath"
+)
+
+func ExampleParallelMerge() {
+	a := []int{1, 3, 5, 7}
+	b := []int{2, 4, 6}
+	out := make([]int, len(a)+len(b))
+	mergepath.ParallelMerge(a, b, out, 4)
+	fmt.Println(out)
+	// Output: [1 2 3 4 5 6 7]
+}
+
+func ExampleSearchDiagonal() {
+	a := []int{10, 20, 30, 40}
+	b := []int{15, 25, 35}
+	// Where does the merged output split into its first 3 elements?
+	pt := mergepath.SearchDiagonal(a, b, 3)
+	fmt.Printf("first 3 outputs = a[:%d] + b[:%d]\n", pt.A, pt.B)
+	// Output: first 3 outputs = a[:2] + b[:1]
+}
+
+func ExamplePartition() {
+	a := []int{1, 2, 3, 4}
+	b := []int{5, 6, 7, 8}
+	for i, pt := range mergepath.Partition(a, b, 2) {
+		fmt.Printf("boundary %d: %d from a, %d from b\n", i, pt.A, pt.B)
+	}
+	// Output:
+	// boundary 0: 0 from a, 0 from b
+	// boundary 1: 4 from a, 0 from b
+	// boundary 2: 4 from a, 4 from b
+}
+
+func ExampleSort() {
+	s := []string{"pear", "apple", "fig", "date", "cherry", "banana"}
+	mergepath.Sort(s, 3)
+	fmt.Println(s)
+	// Output: [apple banana cherry date fig pear]
+}
+
+func ExampleSegmentedMerge() {
+	a := []int{1, 4, 9}
+	b := []int{2, 3, 10}
+	out := make([]int, 6)
+	stats := mergepath.SegmentedMerge(a, b, out, mergepath.SegmentedConfig{Window: 2, Workers: 2})
+	fmt.Println(out, "windows:", stats.Windows)
+	// Output: [1 2 3 4 9 10] windows: 3
+}
+
+func ExampleMergeK() {
+	lists := [][]int{{1, 5}, {2, 6}, {3, 4}}
+	fmt.Println(mergepath.MergeK(lists, 2))
+	// Output: [1 2 3 4 5 6]
+}
+
+func ExampleMergeFunc() {
+	type user struct {
+		name string
+		age  int
+	}
+	byAge := func(x, y user) bool { return x.age < y.age }
+	a := []user{{"ana", 20}, {"bob", 35}}
+	b := []user{{"cyn", 25}, {"dee", 35}}
+	out := make([]user, 4)
+	mergepath.MergeFunc(a, b, out, byAge)
+	for _, u := range out {
+		fmt.Println(u.name, u.age)
+	}
+	// Output:
+	// ana 20
+	// cyn 25
+	// bob 35
+	// dee 35
+}
+
+func ExampleUnion() {
+	a := []int{1, 3, 3, 5}
+	b := []int{3, 4, 5, 5}
+	fmt.Println(mergepath.Union(a, b, 2))
+	fmt.Println(mergepath.Intersect(a, b, 2))
+	fmt.Println(mergepath.Diff(a, b, 2))
+	// Output:
+	// [1 3 3 4 5 5]
+	// [3 5]
+	// [1 3]
+}
+
+func ExampleSortDataflow() {
+	s := []int{9, 4, 7, 1, 8, 2}
+	mergepath.SortDataflow(s, 3, 2)
+	fmt.Println(s)
+	// Output: [1 2 4 7 8 9]
+}
+
+func ExamplePartitionRanks() {
+	a := []int{10, 30, 50}
+	b := []int{20, 40}
+	for _, pt := range mergepath.PartitionRanks(a, b, []int{1, 3}) {
+		fmt.Printf("rank %d: %d from a, %d from b\n", pt.Diagonal(), pt.A, pt.B)
+	}
+	// Output:
+	// rank 1: 1 from a, 0 from b
+	// rank 3: 2 from a, 1 from b
+}
+
+func ExampleMergedRange() {
+	a := []int{1, 4, 7, 10}
+	b := []int{2, 5, 8}
+	page := make([]int, 3)
+	mergepath.MergedRange(a, b, 2, 5, page) // ranks 2,3,4 of the merge
+	fmt.Println(page)
+	// Output: [4 5 7]
+}
+
+func ExampleMergeIter() {
+	it := mergepath.MergeIter([][]int{{1, 4}, {2, 5}, {3}})
+	for {
+		v, ok := it.Next()
+		if !ok {
+			break
+		}
+		fmt.Print(v, " ")
+	}
+	fmt.Println()
+	// Output: 1 2 3 4 5
+}
+
+func ExampleMergeBatch() {
+	pairs := []mergepath.BatchPair[int]{
+		{A: []int{1, 5}, B: []int{3}, Out: make([]int, 3)},
+		{A: []int{2}, B: []int{0, 9}, Out: make([]int, 3)},
+	}
+	mergepath.MergeBatch(pairs, 4)
+	fmt.Println(pairs[0].Out, pairs[1].Out)
+	// Output: [1 3 5] [0 2 9]
+}

@@ -1,0 +1,53 @@
+// Quickstart: the three core operations of the library in ~60 lines —
+// partition a merge, merge in parallel, and sort in parallel.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+
+	"mergepath/internal/core"
+	"mergepath/internal/psort"
+	"mergepath/internal/workload"
+)
+
+func main() {
+	p := runtime.GOMAXPROCS(0)
+	rng := rand.New(rand.NewSource(1))
+
+	// Two sorted inputs.
+	a := workload.SortedUniform32(rng, 1_000_000)
+	b := workload.SortedUniform32(rng, 1_500_000)
+
+	// 1. Partition: where would p workers split this merge? Each boundary
+	// is found with a ~log2(min(|a|,|b|)) binary search; no data moves.
+	bounds := core.Partition(a, b, p)
+	fmt.Printf("merge of %d+%d elements split for %d workers:\n", len(a), len(b), p)
+	for i := 0; i+1 < len(bounds); i++ {
+		fmt.Printf("  worker %2d: a[%d:%d] + b[%d:%d] -> out[%d:%d]\n",
+			i, bounds[i].A, bounds[i+1].A, bounds[i].B, bounds[i+1].B,
+			bounds[i].Diagonal(), bounds[i+1].Diagonal())
+	}
+
+	// 2. Merge in parallel. Lock-free: every worker owns a disjoint slice
+	// of out.
+	out := make([]int32, len(a)+len(b))
+	core.ParallelMerge(a, b, out, p)
+	fmt.Printf("merged: out[0]=%d ... out[%d]=%d, sorted=%v\n",
+		out[0], len(out)-1, out[len(out)-1], isSorted(out))
+
+	// 3. Parallel merge sort built on the same primitive.
+	data := workload.Unsorted(rng, 2_000_000)
+	psort.Sort(data, p)
+	fmt.Printf("sorted %d elements with %d workers, sorted=%v\n", len(data), p, isSorted(data))
+}
+
+func isSorted(s []int32) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			return false
+		}
+	}
+	return true
+}

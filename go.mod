@@ -1,0 +1,3 @@
+module mergepath
+
+go 1.22

@@ -1,0 +1,157 @@
+package mergepath_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mergepath"
+	"mergepath/internal/extsort"
+	"mergepath/internal/kway"
+	"mergepath/internal/pram"
+	"mergepath/internal/psort"
+	"mergepath/internal/verify"
+	"mergepath/internal/workload"
+)
+
+// TestPipelineEndToEnd drives the library the way a consumer would:
+// unsorted shards -> parallel sorts -> k-way merge -> set algebra ->
+// rank selection, validating every stage against the oracles.
+func TestPipelineEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(200))
+	const shards = 6
+	const perShard = 20000
+	p := 4
+
+	// Stage 1: sort each shard (mix the sort variants deliberately).
+	lists := make([][]int32, shards)
+	var everything []int32
+	for i := range lists {
+		lists[i] = workload.Unsorted(rng, perShard)
+		everything = append(everything, lists[i]...)
+		switch i % 3 {
+		case 0:
+			mergepath.Sort(lists[i], p)
+		case 1:
+			mergepath.CacheEfficientSort(lists[i], 4096, p)
+		default:
+			mergepath.SortDataflow(lists[i], p, 0)
+		}
+		if !verify.Sorted(lists[i]) {
+			t.Fatalf("shard %d unsorted after variant %d", i, i%3)
+		}
+	}
+
+	// Stage 2: k-way merge, checked against the heap baseline.
+	merged := mergepath.MergeK(lists, p)
+	if !verify.Equal(merged, kway.HeapMerge(lists)) {
+		t.Fatal("k-way merge diverges from heap baseline")
+	}
+	if !verify.SameMultiset(merged, everything) {
+		t.Fatal("k-way merge lost elements")
+	}
+
+	// Stage 3: set algebra between the merged stream and one shard.
+	inter := mergepath.Intersect(merged, lists[0], p)
+	if !verify.SameMultiset(inter, lists[0]) {
+		t.Fatal("intersection with a subset must return the subset (multiset-wise)")
+	}
+	diff := mergepath.Diff(merged, lists[0], p)
+	if len(diff)+len(inter) != len(merged) {
+		t.Fatal("diff + intersect must partition the merged stream")
+	}
+	union := mergepath.Union(merged, lists[0], p)
+	if !verify.SameMultiset(union, merged) {
+		t.Fatal("union with a subset must be the superset")
+	}
+
+	// Stage 4: rank selection agrees with materialized positions.
+	half := mergepath.SearchDiagonal(lists[0], lists[1], perShard)
+	two := make([]int32, 2*perShard)
+	mergepath.Merge(lists[0], lists[1], two)
+	prefix := make([]int32, perShard)
+	mergepath.Merge(lists[0][:half.A], lists[1][:half.B], prefix)
+	for i := range prefix {
+		if prefix[i] != two[i] {
+			t.Fatalf("selection split wrong at %d", i)
+		}
+	}
+}
+
+// TestExternalSortAgainstInMemory ties the extsort subsystem to the
+// in-memory sorts: identical results from completely different execution
+// paths.
+func TestExternalSortAgainstInMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	data := workload.Unsorted(rng, 50000)
+	inMem := append([]int32(nil), data...)
+	psort.Sort(inMem, 4)
+
+	dev := extsort.NewBlockDevice(len(data), 16)
+	dev.Load(data)
+	extsort.Sort(dev, len(data), extsort.Config{MemoryRecords: 1 << 10, Workers: 4})
+	if !verify.Equal(dev.Snapshot(len(data)), inMem) {
+		t.Fatal("external and in-memory sorts disagree")
+	}
+}
+
+// TestPRAMAuditOfPublicAlgorithms re-runs the audited algorithm versions
+// and checks the public implementations produce identical outputs — the
+// substrate and the shipped code implement the same algorithm.
+func TestPRAMAuditOfPublicAlgorithms(t *testing.T) {
+	av, bv := workload.Pair(workload.Uniform, 5000, 7000, 3)
+	m := pram.NewMachine(6)
+	res := pram.ParallelMerge(m, m.NewArray(av), m.NewArray(bv))
+	if !res.Report.CREW() {
+		t.Fatal("audit failed")
+	}
+	out := make([]int32, len(av)+len(bv))
+	mergepath.ParallelMerge(av, bv, out, 6)
+	if !verify.Equal(out, res.Out.Snapshot()) {
+		t.Fatal("public merge and audited merge outputs differ")
+	}
+}
+
+// TestFacadeSurface exercises the remaining public wrappers not covered
+// above so the facade cannot silently drift from the internals.
+func TestFacadeSurface(t *testing.T) {
+	a := []int32{1, 3, 5, 7, 9}
+	b := []int32{2, 4, 6, 8}
+	out := make([]int32, 9)
+	mergepath.HierarchicalMerge(a, b, out, mergepath.HierarchicalConfig{Blocks: 2, TeamSize: 2})
+	if !verify.IsMergeOf(out, a, b) {
+		t.Fatal("hierarchical merge")
+	}
+	stats := mergepath.SegmentedMerge(a, b, out, mergepath.SegmentedConfig{Window: 3, Workers: 2})
+	if !verify.IsMergeOf(out, a, b) || stats.Windows != 3 {
+		t.Fatalf("segmented merge: %+v", stats)
+	}
+	less := func(x, y int32) bool { return x < y }
+	mergepath.SegmentedMergeFunc(a, b, out, mergepath.SegmentedConfig{Window: 3}, less)
+	if !verify.IsMergeOf(out, a, b) {
+		t.Fatal("segmented merge func")
+	}
+	mergepath.ParallelMergeFunc(a, b, out, 3, less)
+	if !verify.IsMergeOf(out, a, b) {
+		t.Fatal("parallel merge func")
+	}
+	mergepath.MergeFunc(a, b, out, less)
+	if !verify.IsMergeOf(out, a, b) {
+		t.Fatal("merge func")
+	}
+	if got := mergepath.MergeKFunc([][]int32{{2}, {1}}, 2, less); got[0] != 1 || got[1] != 2 {
+		t.Fatalf("mergek func: %v", got)
+	}
+	pts := mergepath.PartitionRanks(a, b, []int{0, 4, 9})
+	if pts[0] != (mergepath.Point{}) || pts[2].Diagonal() != 9 {
+		t.Fatalf("partition ranks: %+v", pts)
+	}
+	bounds := mergepath.Partition(a, b, 3)
+	if len(bounds) != 4 {
+		t.Fatalf("partition: %+v", bounds)
+	}
+	s := []int32{3, 1, 2}
+	mergepath.SortFunc(s, 2, less)
+	if !verify.Sorted(s) {
+		t.Fatal("sort func")
+	}
+}

@@ -1,0 +1,307 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mergepath/internal/verify"
+	"mergepath/internal/workload"
+)
+
+func TestSequentialMergeMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for trial := 0; trial < 150; trial++ {
+		kind := workload.Kinds()[trial%len(workload.Kinds())]
+		na, nb := rng.Intn(300), rng.Intn(300)
+		a, b := workload.Pair(kind, na, nb, int64(trial))
+		out := make([]int32, na+nb)
+		SequentialMerge(a, b, out)
+		if !verify.Equal(out, verify.ReferenceMerge(a, b)) {
+			t.Fatalf("kind=%v na=%d nb=%d: mismatch", kind, na, nb)
+		}
+	}
+}
+
+func TestSequentialMergePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SequentialMerge([]int32{1}, []int32{2}, nil)
+}
+
+func TestBounds(t *testing.T) {
+	s := []int32{1, 3, 3, 3, 7}
+	cases := []struct {
+		v            int32
+		lower, upper int
+	}{
+		{0, 0, 0}, {1, 0, 1}, {2, 1, 1}, {3, 1, 4}, {5, 4, 4}, {7, 4, 5}, {9, 5, 5},
+	}
+	for _, c := range cases {
+		if got := lowerBound(s, c.v); got != c.lower {
+			t.Errorf("lowerBound(%d) = %d, want %d", c.v, got, c.lower)
+		}
+		if got := upperBound(s, c.v); got != c.upper {
+			t.Errorf("upperBound(%d) = %d, want %d", c.v, got, c.upper)
+		}
+	}
+	if lowerBound(nil, int32(1)) != 0 || upperBound(nil, int32(1)) != 0 {
+		t.Error("bounds on empty slice")
+	}
+}
+
+func TestNaivePartitionIncorrect(t *testing.T) {
+	// Experiment E12: the §I counterexample. With all of a greater than all
+	// of b and p >= 2, the naive equal-split concatenation cannot be sorted.
+	a, b := workload.Pair(workload.AllAGreater, 64, 64, 1)
+	out := NaiveEqualSplitMerge(a, b, 4)
+	if verify.Sorted(out) {
+		t.Fatal("naive equal-split produced a sorted result on the counterexample; it should fail")
+	}
+	// It must still be a permutation — the elements are all there, just
+	// misordered.
+	joined := append(append([]int32{}, a...), b...)
+	if !verify.SameMultiset(out, joined) {
+		t.Fatal("naive merge lost elements")
+	}
+	// Sanity: with p=1 it degenerates to a correct sequential merge.
+	if !verify.Sorted(NaiveEqualSplitMerge(a, b, 1)) {
+		t.Fatal("p=1 naive merge should be correct")
+	}
+}
+
+func TestNaivePartitionSometimesLucky(t *testing.T) {
+	// On perfectly interleaved inputs the naive split happens to be correct;
+	// the point of E12 is that correctness is data-dependent.
+	a, b := workload.Pair(workload.Interleave, 64, 64, 1)
+	if out := NaiveEqualSplitMerge(a, b, 4); !verify.Sorted(out) {
+		t.Fatal("interleaved workload should be the naive split's lucky case")
+	}
+}
+
+func TestAklSantoroMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 120; trial++ {
+		kind := workload.Kinds()[trial%len(workload.Kinds())]
+		na, nb := rng.Intn(400), rng.Intn(400)
+		p := 1 + rng.Intn(9)
+		a, b := workload.Pair(kind, na, nb, int64(trial))
+		out := make([]int32, na+nb)
+		AklSantoroMerge(a, b, out, p)
+		if !verify.Equal(out, verify.ReferenceMerge(a, b)) {
+			t.Fatalf("kind=%v na=%d nb=%d p=%d: mismatch", kind, na, nb, p)
+		}
+	}
+}
+
+func TestMedianSplit(t *testing.T) {
+	a := []int32{1, 3, 5, 7}
+	b := []int32{2, 4, 6, 8}
+	for k := 0; k <= 8; k++ {
+		i, j := medianSplit(a, b, k)
+		if i+j != k {
+			t.Fatalf("k=%d: i+j=%d", k, i+j)
+		}
+		if i > 0 && j < len(b) && a[i-1] > b[j] {
+			t.Fatalf("k=%d: invariant 1 violated (i=%d j=%d)", k, i, j)
+		}
+		if j > 0 && i < len(a) && b[j-1] >= a[i] {
+			t.Fatalf("k=%d: invariant 2 violated (i=%d j=%d)", k, i, j)
+		}
+	}
+}
+
+func TestDeoSarkarMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 120; trial++ {
+		kind := workload.Kinds()[trial%len(workload.Kinds())]
+		na, nb := rng.Intn(400), rng.Intn(400)
+		p := 1 + rng.Intn(9)
+		a, b := workload.Pair(kind, na, nb, int64(trial))
+		out := make([]int32, na+nb)
+		DeoSarkarMerge(a, b, out, p)
+		if !verify.Equal(out, verify.ReferenceMerge(a, b)) {
+			t.Fatalf("kind=%v na=%d nb=%d p=%d: mismatch", kind, na, nb, p)
+		}
+	}
+}
+
+func TestSelectKthBothOrientations(t *testing.T) {
+	// selectKth must behave identically whether a or b is shorter (the
+	// flipped path must preserve the tie rule).
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 200; trial++ {
+		na, nb := rng.Intn(20), 20+rng.Intn(20)
+		a := workload.SortedUniform32(rng, na)
+		b := workload.SortedUniform32(rng, nb)
+		for i := range a {
+			a[i] %= 7
+		}
+		for i := range b {
+			b[i] %= 7
+		}
+		sortInPlace(a)
+		sortInPlace(b)
+		for k := 0; k <= na+nb; k += 1 + rng.Intn(3) {
+			i1, j1 := selectKth(a, b, k) // bisects on a (shorter)
+			i2, j2 := selectKth(b, a, k) // bisects via flipped path
+			// Consistency within each orientation: prefix merge = full prefix.
+			full := verify.ReferenceMerge(a, b)
+			prefix := verify.ReferenceMerge(a[:i1], b[:j1])
+			for x := range prefix {
+				if prefix[x] != full[x] {
+					t.Fatalf("k=%d: orientation1 split wrong at %d", k, x)
+				}
+			}
+			// Orientation 2 swaps the tie rule (b wins), so only the value
+			// multiset of the prefix must agree, not the exact co-ranks.
+			if i2+j2 != k {
+				t.Fatalf("k=%d: flipped split off-diagonal", k)
+			}
+			prefix2 := verify.ReferenceMerge(b[:i2], a[:j2])
+			for x := range prefix2 {
+				if prefix2[x] != full[x] {
+					t.Fatalf("k=%d: orientation2 split wrong at %d (i2=%d j2=%d)", k, x, i2, j2)
+				}
+			}
+			_ = j1
+		}
+	}
+}
+
+func TestShiloachVishkinMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 120; trial++ {
+		kind := workload.Kinds()[trial%len(workload.Kinds())]
+		na, nb := rng.Intn(400), rng.Intn(400)
+		p := 1 + rng.Intn(9)
+		a, b := workload.Pair(kind, na, nb, int64(trial))
+		out := make([]int32, na+nb)
+		ShiloachVishkinMerge(a, b, out, p)
+		if !verify.Equal(out, verify.ReferenceMerge(a, b)) {
+			t.Fatalf("kind=%v na=%d nb=%d p=%d: mismatch", kind, na, nb, p)
+		}
+	}
+}
+
+func TestShiloachVishkinPartitionValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 100; trial++ {
+		na, nb := rng.Intn(500), rng.Intn(500)
+		p := 1 + rng.Intn(12)
+		a := workload.SortedUniform32(rng, na)
+		b := workload.SortedUniform32(rng, nb)
+		cuts := ShiloachVishkinPartition(a, b, p)
+		if cuts[0] != (svCut{0, 0}) || cuts[len(cuts)-1] != (svCut{na, nb}) {
+			t.Fatalf("bad endpoints: %+v ... %+v", cuts[0], cuts[len(cuts)-1])
+		}
+		for s := 1; s < len(cuts); s++ {
+			if cuts[s].i < cuts[s-1].i || cuts[s].j < cuts[s-1].j {
+				t.Fatalf("cuts not monotone: %+v then %+v", cuts[s-1], cuts[s])
+			}
+		}
+	}
+}
+
+func TestShiloachVishkinLoadBound(t *testing.T) {
+	// The classic bound: every processor carries at most
+	// ceil(|a|/p) + ceil(|b|/p) + (same again) ~ 2N/p elements (two segments,
+	// each at most ceil(|a|/p)+ceil(|b|/p) long... each *segment* is bounded
+	// by one marker stride from each array).
+	rng := rand.New(rand.NewSource(46))
+	for trial := 0; trial < 60; trial++ {
+		na, nb := 100+rng.Intn(2000), 100+rng.Intn(2000)
+		p := 2 + rng.Intn(10)
+		a := workload.SortedUniform32(rng, na)
+		b := workload.SortedUniform32(rng, nb)
+		loads := ShiloachVishkinLoads(a, b, p)
+		totalLoad := 0
+		strideA, strideB := (na+p-1)/p+1, (nb+p-1)/p+1
+		bound := 2 * (strideA + strideB)
+		for r, l := range loads {
+			totalLoad += l
+			if l > bound {
+				t.Fatalf("p=%d: processor %d load %d exceeds 2N/p-style bound %d", p, r, l, bound)
+			}
+		}
+		if totalLoad != na+nb {
+			t.Fatalf("loads sum to %d, want %d", totalLoad, na+nb)
+		}
+	}
+}
+
+func TestShiloachVishkinImbalanceExists(t *testing.T) {
+	// The imbalance the paper criticizes must actually be observable: on the
+	// staircase workload some processor gets well above the mean.
+	a, b := workload.Pair(workload.Staircase, 1<<14, 1<<14, 7)
+	p := 8
+	loads := ShiloachVishkinLoads(a, b, p)
+	mean := float64(len(a)+len(b)) / float64(p)
+	maxLoad := 0
+	for _, l := range loads {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	if float64(maxLoad) < 1.2*mean {
+		t.Skipf("staircase did not trigger imbalance (max %d vs mean %.0f); acceptable but unexpected", maxLoad, mean)
+	}
+}
+
+func TestBaselinePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"akl-p0":   func() { AklSantoroMerge([]int32{1}, []int32{2}, make([]int32, 2), 0) },
+		"akl-out":  func() { AklSantoroMerge([]int32{1}, []int32{2}, nil, 2) },
+		"deo-p0":   func() { DeoSarkarMerge([]int32{1}, []int32{2}, make([]int32, 2), 0) },
+		"deo-out":  func() { DeoSarkarMerge([]int32{1}, []int32{2}, nil, 2) },
+		"sv-p0":    func() { ShiloachVishkinMerge([]int32{1}, []int32{2}, make([]int32, 2), 0) },
+		"sv-out":   func() { ShiloachVishkinMerge([]int32{1}, []int32{2}, nil, 2) },
+		"naive-p0": func() { NaiveEqualSplitMerge([]int32{1}, []int32{2}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBaselinesQuick(t *testing.T) {
+	mk := func(raw []int32) []int32 {
+		s := append([]int32(nil), raw...)
+		sortInPlace(s)
+		return s
+	}
+	f := func(rawA, rawB []int32, pSeed uint8) bool {
+		a, b := mk(rawA), mk(rawB)
+		p := 1 + int(pSeed)%8
+		want := verify.ReferenceMerge(a, b)
+		for _, merge := range []func(x, y, o []int32, p int){
+			AklSantoroMerge[int32], DeoSarkarMerge[int32], ShiloachVishkinMerge[int32],
+		} {
+			out := make([]int32, len(a)+len(b))
+			merge(a, b, out, p)
+			if !verify.Equal(out, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortInPlace(s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

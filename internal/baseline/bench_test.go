@@ -1,0 +1,60 @@
+package baseline
+
+import (
+	"fmt"
+	"testing"
+
+	"mergepath/internal/workload"
+)
+
+func BenchmarkMergers(b *testing.B) {
+	const n = 1 << 20
+	x, y := workload.Pair(workload.Uniform, n, n, 1)
+	out := make([]int32, 2*n)
+	b.Run("sequential", func(b *testing.B) {
+		b.SetBytes(int64(2*n) * 4)
+		for i := 0; i < b.N; i++ {
+			SequentialMerge(x, y, out)
+		}
+	})
+	for _, p := range []int{1, 4} {
+		b.Run(fmt.Sprintf("akl-santoro/p=%d", p), func(b *testing.B) {
+			b.SetBytes(int64(2*n) * 4)
+			for i := 0; i < b.N; i++ {
+				AklSantoroMerge(x, y, out, p)
+			}
+		})
+		b.Run(fmt.Sprintf("deo-sarkar/p=%d", p), func(b *testing.B) {
+			b.SetBytes(int64(2*n) * 4)
+			for i := 0; i < b.N; i++ {
+				DeoSarkarMerge(x, y, out, p)
+			}
+		})
+		b.Run(fmt.Sprintf("shiloach-vishkin/p=%d", p), func(b *testing.B) {
+			b.SetBytes(int64(2*n) * 4)
+			for i := 0; i < b.N; i++ {
+				ShiloachVishkinMerge(x, y, out, p)
+			}
+		})
+	}
+}
+
+func BenchmarkPartitioners(b *testing.B) {
+	const n = 1 << 20
+	x, y := workload.Pair(workload.Uniform, n, n, 2)
+	b.Run("shiloach-vishkin-partition", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ShiloachVishkinPartition(x, y, 12)
+		}
+	})
+	b.Run("median-split", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			medianSplit(x, y, n)
+		}
+	})
+	b.Run("select-kth", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			selectKth(x, y, n)
+		}
+	})
+}

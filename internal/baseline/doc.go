@@ -1,0 +1,23 @@
+// Package baseline implements the comparison algorithms discussed in the
+// paper's introduction and related-work section (§I, §V):
+//
+//   - SequentialMerge: the plain two-pointer merge, the baseline for
+//     Figure 5's speedups and the ~6% single-thread overhead remark (§VI).
+//   - NaiveEqualSplitMerge: the strawman of §I that cuts both inputs into
+//     equal contiguous chunks and merges same-numbered pairs. It is
+//     *incorrect* by design (see the all-A-greater counterexample) and
+//     exists so experiment E12 can demonstrate the failure.
+//   - AklSantoroMerge [5]: recursive median bisection (EREW-friendly),
+//     O(N/p + logN·logp) time.
+//   - DeoSarkarMerge [2]: equispaced output-rank multiselection via two-array
+//     k-th smallest selection, O(N/p + logN) time — the algorithm the paper
+//     says is "very similar" to Merge Path, expressed without the grid.
+//   - ShiloachVishkinMerge [6]: block partitioning by ranking p-1 markers
+//     from each input into the output; correct and O(N/p + logN), but with
+//     load imbalance up to 2N/p per processor — the imbalance experiment E4
+//     measures exactly this against Merge Path's ±1 balance.
+//
+// All implementations here are written independently of package core's
+// diagonal search (they use their own rank/selection searches) so the
+// comparisons in experiments E4 and E9 measure genuinely different code.
+package baseline

@@ -1,0 +1,36 @@
+package baseline
+
+import (
+	"cmp"
+	"sync"
+)
+
+// NaiveEqualSplitMerge is the incorrect strawman from the paper's
+// introduction: cut a into p equal contiguous chunks, cut b into p equal
+// contiguous chunks, merge same-numbered chunk pairs in parallel, and
+// concatenate the results. Whenever values from chunk pair i belong after
+// values from chunk pair i+1 (e.g. when every element of a exceeds every
+// element of b), the concatenation is not sorted.
+//
+// It returns the (possibly unsorted) result; callers in experiment E12 use
+// it to demonstrate the failure mode that motivates merge-path
+// partitioning. It is still a permutation of the inputs.
+func NaiveEqualSplitMerge[T cmp.Ordered](a, b []T, p int) []T {
+	if p < 1 {
+		panic("baseline: worker count must be positive")
+	}
+	out := make([]T, len(a)+len(b))
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for i := 0; i < p; i++ {
+		go func(i int) {
+			defer wg.Done()
+			aLo, aHi := i*len(a)/p, (i+1)*len(a)/p
+			bLo, bHi := i*len(b)/p, (i+1)*len(b)/p
+			outLo := aLo + bLo
+			SequentialMerge(a[aLo:aHi], b[bLo:bHi], out[outLo:outLo+(aHi-aLo)+(bHi-bLo)])
+		}(i)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,58 @@
+package baseline
+
+import "cmp"
+
+// SequentialMerge merges sorted a and b into out (len(out) ==
+// len(a)+len(b)) with the classic two-pointer loop and no parallel
+// framework whatsoever. It is the reference point for the paper's §VI
+// remark that single-threaded Merge Path runs ~6% slower than a truly
+// sequential merge.
+func SequentialMerge[T cmp.Ordered](a, b, out []T) {
+	if len(out) != len(a)+len(b) {
+		panic("baseline: output length mismatch")
+	}
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out[k] = a[i]
+			i++
+		} else {
+			out[k] = b[j]
+			j++
+		}
+		k++
+	}
+	if i < len(a) {
+		copy(out[k:], a[i:])
+	} else {
+		copy(out[k:], b[j:])
+	}
+}
+
+// lowerBound returns the smallest index i with s[i] >= v (len(s) if none).
+func lowerBound[T cmp.Ordered](s []T, v T) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// upperBound returns the smallest index i with s[i] > v (len(s) if none).
+func upperBound[T cmp.Ordered](s []T, v T) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

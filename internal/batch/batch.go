@@ -1,0 +1,118 @@
+// Package batch merges many independent sorted-array pairs with one
+// globally load-balanced worker pool — the batch/segmented-merge primitive
+// that merge-path partitioning enables and that the technique's GPU
+// descendants ship as "segmented merge". The point: scheduling one worker
+// (or one fixed team) per pair starves when pair sizes are skewed, exactly
+// the §I late-rounds problem in another costume. Here the p workers split
+// the *total* output across all pairs evenly: worker boundaries are found
+// by a binary search over the pairs' offset table followed by an in-pair
+// diagonal search, so every worker gets total/p elements regardless of how
+// the work is distributed among pairs.
+package batch
+
+import (
+	"cmp"
+	"sort"
+	"sync"
+
+	"mergepath/internal/core"
+)
+
+// Pair is one merge job: A and B are sorted; Out receives the merge and
+// must have length len(A)+len(B).
+type Pair[T cmp.Ordered] struct {
+	A, B, Out []T
+}
+
+// Merge merges every pair with p workers balanced over the total output
+// size. Panics on a mis-sized Out or p < 1.
+func Merge[T cmp.Ordered](pairs []Pair[T], p int) {
+	if p < 1 {
+		panic("batch: worker count must be positive")
+	}
+	// Offset table: offsets[i] is the global output rank where pair i
+	// begins; offsets[len(pairs)] is the total.
+	offsets := make([]int, len(pairs)+1)
+	for i, pr := range pairs {
+		if len(pr.Out) != len(pr.A)+len(pr.B) {
+			panic("batch: output length mismatch")
+		}
+		offsets[i+1] = offsets[i] + len(pr.Out)
+	}
+	total := offsets[len(pairs)]
+	if total == 0 {
+		return
+	}
+	if p > total {
+		p = total
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(w int) {
+			defer wg.Done()
+			lo := w * total / p
+			hi := (w + 1) * total / p
+			mergeGlobalRange(pairs, offsets, lo, hi)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// mergeGlobalRange produces global output ranks [lo, hi), which may span
+// multiple pairs: a partial tail of the first pair, whole middle pairs,
+// and a partial head of the last.
+func mergeGlobalRange[T cmp.Ordered](pairs []Pair[T], offsets []int, lo, hi int) {
+	// First pair whose range extends past lo.
+	i := sort.SearchInts(offsets, lo+1) - 1
+	for ; lo < hi; i++ {
+		pr := pairs[i]
+		pLo := lo - offsets[i]                 // local start rank within pair i
+		pHi := min(hi-offsets[i], len(pr.Out)) // local end rank
+		if pLo < pHi {
+			start := core.SearchDiagonal(pr.A, pr.B, pLo)
+			core.MergeSteps(pr.A, pr.B, start, pHi-pLo, pr.Out[pLo:pHi])
+		}
+		lo = offsets[i] + len(pr.Out)
+	}
+}
+
+// MergeNaive merges the pairs with one goroutine per pair (up to p at a
+// time) — the per-pair scheduling baseline the balance experiment compares
+// against. Exported for benchmarks and tests.
+func MergeNaive[T cmp.Ordered](pairs []Pair[T], p int) {
+	if p < 1 {
+		panic("batch: worker count must be positive")
+	}
+	sem := make(chan struct{}, p)
+	var wg sync.WaitGroup
+	wg.Add(len(pairs))
+	for _, pr := range pairs {
+		if len(pr.Out) != len(pr.A)+len(pr.B) {
+			panic("batch: output length mismatch")
+		}
+		sem <- struct{}{}
+		go func(pr Pair[T]) {
+			defer wg.Done()
+			core.Merge(pr.A, pr.B, pr.Out)
+			<-sem
+		}(pr)
+	}
+	wg.Wait()
+}
+
+// WorkerLoads reports, for diagnostic purposes, how many output elements
+// each of p workers receives under the global balancing (always within one
+// element of total/p) — the counterpoint to per-pair scheduling where one
+// giant pair serializes.
+func WorkerLoads[T cmp.Ordered](pairs []Pair[T], p int) []int {
+	total := 0
+	for _, pr := range pairs {
+		total += len(pr.A) + len(pr.B)
+	}
+	loads := make([]int, p)
+	for w := 0; w < p; w++ {
+		loads[w] = (w+1)*total/p - w*total/p
+	}
+	return loads
+}

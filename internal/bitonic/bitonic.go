@@ -1,0 +1,285 @@
+// Package bitonic implements Batcher's bitonic sorting network [4], the
+// representative of the paper's "problem-size dependent number of
+// processors" category of parallel sorts (§V). It provides a sequential
+// network evaluation, a data-parallel evaluation that splits each
+// compare-exchange sub-stage across workers, and a bitonic *merger* for two
+// sorted arrays (concatenate one side ascending and the other descending,
+// then run the cleaning half of the network), which experiment E9 compares
+// against Merge Path: the network does Theta(N·log^2 N) sorting work and
+// Theta(N·logN) merging work versus merge path's O(N), the asymmetry the
+// paper's taxonomy highlights.
+//
+// The network itself requires power-of-two sizes; arbitrary lengths are
+// handled by physically padding a scratch buffer with copies of the input
+// maximum. Copies of the maximum are >= every element and equal only to
+// genuine maxima, so the first n positions of the sorted padded buffer are
+// exactly the sorted input.
+package bitonic
+
+import (
+	"cmp"
+	"sync"
+)
+
+// Sort sorts s in place using the bitonic network. Arbitrary lengths are
+// supported via a max-padded scratch buffer when len(s) is not a power of
+// two.
+func Sort[T cmp.Ordered](s []T) {
+	n := len(s)
+	if n < 2 {
+		return
+	}
+	if m := nextPow2(n); m != n {
+		buf := padWithMax(s, m)
+		runNetwork(buf)
+		copy(s, buf[:n])
+		return
+	}
+	runNetwork(s)
+}
+
+// SortParallel sorts s in place, evaluating each sub-stage's independent
+// compare-exchanges with p workers separated by barriers — the network's
+// natural parallelization with N/2 comparators per synchronous cycle.
+func SortParallel[T cmp.Ordered](s []T, p int) {
+	if p < 1 {
+		panic("bitonic: worker count must be positive")
+	}
+	n := len(s)
+	if n < 2 {
+		return
+	}
+	if p == 1 {
+		Sort(s)
+		return
+	}
+	if m := nextPow2(n); m != n {
+		buf := padWithMax(s, m)
+		runNetworkParallel(buf, p)
+		copy(s, buf[:n])
+		return
+	}
+	runNetworkParallel(s, p)
+}
+
+// Merge merges two sorted slices with the bitonic half-cleaner: lay out a
+// ascending followed by b descending (a bitonic sequence), run the cleaning
+// sub-stages, and the buffer is sorted. Work is Theta(N·logN). out must
+// have length len(a)+len(b).
+func Merge[T cmp.Ordered](a, b, out []T) {
+	buf, pow2 := mergeLayout(a, b, out)
+	if buf == nil {
+		return // one input empty; layout already copied the other
+	}
+	clean(buf)
+	if !pow2 {
+		copy(out, buf[:len(out)])
+	}
+}
+
+// MergeParallel is Merge with each cleaning sub-stage split across p
+// workers.
+func MergeParallel[T cmp.Ordered](a, b, out []T, p int) {
+	if p < 1 {
+		panic("bitonic: worker count must be positive")
+	}
+	buf, pow2 := mergeLayout(a, b, out)
+	if buf == nil {
+		return
+	}
+	if p == 1 {
+		clean(buf)
+	} else {
+		cleanParallel(buf, p)
+	}
+	if !pow2 {
+		copy(out, buf[:len(out)])
+	}
+}
+
+// mergeLayout prepares the bitonic buffer for merging a and b into out:
+// a ascending, then (for non power-of-two totals) padding equal to the
+// global maximum, then b descending. With power-of-two totals it lays out
+// directly in out and returns (out, true); otherwise it allocates. The
+// padding sits between the ascending and descending runs so the whole
+// buffer stays bitonic. A nil buffer means one input was empty and out has
+// already been filled.
+func mergeLayout[T cmp.Ordered](a, b, out []T) ([]T, bool) {
+	if len(out) != len(a)+len(b) {
+		panic("bitonic: output length mismatch")
+	}
+	if len(a) == 0 {
+		copy(out, b)
+		return nil, false
+	}
+	if len(b) == 0 {
+		copy(out, a)
+		return nil, false
+	}
+	n := len(out)
+	m := nextPow2(n)
+	buf := out
+	if m != n {
+		buf = make([]T, m)
+	}
+	copy(buf, a)
+	if m != n {
+		// Padding = max of the union = max(last of a, last of b), both sorted.
+		pad := a[len(a)-1]
+		if b[len(b)-1] > pad {
+			pad = b[len(b)-1]
+		}
+		for i := len(a); i < m-len(b); i++ {
+			buf[i] = pad
+		}
+	}
+	for i, v := range b {
+		buf[m-1-i] = v
+	}
+	return buf, m == n
+}
+
+// runNetwork evaluates the full bitonic sorting network in place;
+// len(s) must be a power of two.
+func runNetwork[T cmp.Ordered](s []T) {
+	m := len(s)
+	for k := 2; k <= m; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			for i := 0; i < m; i++ {
+				l := i ^ j
+				if l <= i {
+					continue
+				}
+				if i&k == 0 {
+					if s[i] > s[l] {
+						s[i], s[l] = s[l], s[i]
+					}
+				} else {
+					if s[i] < s[l] {
+						s[i], s[l] = s[l], s[i]
+					}
+				}
+			}
+		}
+	}
+}
+
+func runNetworkParallel[T cmp.Ordered](s []T, p int) {
+	m := len(s)
+	var wg sync.WaitGroup
+	for k := 2; k <= m; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			wg.Add(p)
+			for w := 0; w < p; w++ {
+				go func(w, k, j int) {
+					defer wg.Done()
+					for i := w * m / p; i < (w+1)*m/p; i++ {
+						l := i ^ j
+						if l <= i {
+							continue
+						}
+						if i&k == 0 {
+							if s[i] > s[l] {
+								s[i], s[l] = s[l], s[i]
+							}
+						} else {
+							if s[i] < s[l] {
+								s[i], s[l] = s[l], s[i]
+							}
+						}
+					}
+				}(w, k, j)
+			}
+			wg.Wait()
+		}
+	}
+}
+
+// clean ascending-sorts a bitonic sequence in place; len(s) must be a power
+// of two.
+func clean[T cmp.Ordered](s []T) {
+	m := len(s)
+	for j := m >> 1; j > 0; j >>= 1 {
+		for i := 0; i < m; i++ {
+			l := i ^ j
+			if l > i && s[i] > s[l] {
+				s[i], s[l] = s[l], s[i]
+			}
+		}
+	}
+}
+
+func cleanParallel[T cmp.Ordered](s []T, p int) {
+	m := len(s)
+	var wg sync.WaitGroup
+	for j := m >> 1; j > 0; j >>= 1 {
+		wg.Add(p)
+		for w := 0; w < p; w++ {
+			go func(w, j int) {
+				defer wg.Done()
+				for i := w * m / p; i < (w+1)*m/p; i++ {
+					l := i ^ j
+					if l > i && s[i] > s[l] {
+						s[i], s[l] = s[l], s[i]
+					}
+				}
+			}(w, j)
+		}
+		wg.Wait()
+	}
+}
+
+// padWithMax copies s into a length-m buffer padded with s's maximum.
+func padWithMax[T cmp.Ordered](s []T, m int) []T {
+	buf := make([]T, m)
+	copy(buf, s)
+	maxv := s[0]
+	for _, v := range s[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	for i := len(s); i < m; i++ {
+		buf[i] = maxv
+	}
+	return buf
+}
+
+// SortComparators reports the number of compare-exchange operations the
+// full sorting network executes on the padded size for n elements — the
+// work-count line in experiment E9's table.
+func SortComparators(n int) int {
+	if n < 2 {
+		return 0
+	}
+	m := nextPow2(n)
+	stages := 0
+	for k := 2; k <= m; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			stages++
+		}
+	}
+	return stages * m / 2
+}
+
+// MergeComparators reports the compare-exchange count of the cleaning
+// network for a merge of n total elements.
+func MergeComparators(n int) int {
+	if n < 2 {
+		return 0
+	}
+	m := nextPow2(n)
+	stages := 0
+	for j := m >> 1; j > 0; j >>= 1 {
+		stages++
+	}
+	return stages * m / 2
+}
+
+func nextPow2(n int) int {
+	m := 1
+	for m < n {
+		m <<= 1
+	}
+	return m
+}

@@ -1,0 +1,183 @@
+package bitonic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mergepath/internal/verify"
+	"mergepath/internal/workload"
+)
+
+func TestSortPowerOfTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for _, n := range []int{2, 4, 8, 64, 256, 1024} {
+		s := workload.Unsorted(rng, n)
+		want := append([]int32(nil), s...)
+		Sort(s)
+		if !verify.Sorted(s) {
+			t.Fatalf("n=%d: not sorted", n)
+		}
+		if !verify.SameMultiset(s, want) {
+			t.Fatalf("n=%d: elements lost", n)
+		}
+	}
+}
+
+func TestSortArbitraryLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for n := 0; n <= 130; n++ {
+		s := workload.Unsorted(rng, n)
+		want := append([]int32(nil), s...)
+		Sort(s)
+		if !verify.Sorted(s) {
+			t.Fatalf("n=%d: not sorted: %v", n, s)
+		}
+		if !verify.SameMultiset(s, want) {
+			t.Fatalf("n=%d: elements lost", n)
+		}
+	}
+}
+
+func TestSortDuplicateHeavy(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		s := make([]int32, n)
+		for i := range s {
+			s[i] = int32(rng.Intn(3))
+		}
+		want := append([]int32(nil), s...)
+		Sort(s)
+		if !verify.Sorted(s) || !verify.SameMultiset(s, want) {
+			t.Fatalf("n=%d: bad sort of duplicates", n)
+		}
+	}
+}
+
+func TestSortParallelAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(2000)
+		p := 1 + rng.Intn(8)
+		s1 := workload.Unsorted(rng, n)
+		s2 := append([]int32(nil), s1...)
+		Sort(s1)
+		SortParallel(s2, p)
+		if !verify.Equal(s1, s2) {
+			t.Fatalf("n=%d p=%d: parallel disagrees with sequential", n, p)
+		}
+	}
+}
+
+func TestMergeMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	for trial := 0; trial < 120; trial++ {
+		kind := workload.Kinds()[trial%len(workload.Kinds())]
+		na, nb := rng.Intn(300), rng.Intn(300)
+		a, b := workload.Pair(kind, na, nb, int64(trial))
+		out := make([]int32, na+nb)
+		Merge(a, b, out)
+		ref := verify.ReferenceMerge(a, b)
+		if !verify.Equal(out, ref) {
+			t.Fatalf("kind=%v na=%d nb=%d: mismatch", kind, na, nb)
+		}
+	}
+}
+
+func TestMergeParallelAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 60; trial++ {
+		na, nb := rng.Intn(500), rng.Intn(500)
+		p := 1 + rng.Intn(8)
+		a := workload.SortedUniform32(rng, na)
+		b := workload.SortedUniform32(rng, nb)
+		out := make([]int32, na+nb)
+		MergeParallel(a, b, out, p)
+		if !verify.Equal(out, verify.ReferenceMerge(a, b)) {
+			t.Fatalf("na=%d nb=%d p=%d: mismatch", na, nb, p)
+		}
+	}
+}
+
+func TestMergeEmptySides(t *testing.T) {
+	a := []int32{1, 2, 3}
+	out := make([]int32, 3)
+	var empty []int32
+	Merge(a, empty, out)
+	if !verify.Equal(out, a) {
+		t.Errorf("empty b: %v", out)
+	}
+	Merge(empty, a, out)
+	if !verify.Equal(out, a) {
+		t.Errorf("empty a: %v", out)
+	}
+	Merge(empty, empty, nil)
+}
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"sortpar-p0":  func() { SortParallel([]int32{2, 1}, 0) },
+		"merge-out":   func() { Merge([]int32{1}, []int32{2}, nil) },
+		"mergepar-p0": func() { MergeParallel([]int32{1}, []int32{2}, make([]int32, 2), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestComparatorCounts(t *testing.T) {
+	// Network size must match the closed forms: sort has m/2 * L(L+1)/2
+	// exchanges for m = 2^L; merge-clean has m/2 * L.
+	if got := SortComparators(1); got != 0 {
+		t.Errorf("SortComparators(1) = %d", got)
+	}
+	if got := SortComparators(8); got != 4*6 { // L=3: 3*4/2=6 sub-stages * 4
+		t.Errorf("SortComparators(8) = %d, want 24", got)
+	}
+	if got := MergeComparators(8); got != 4*3 {
+		t.Errorf("MergeComparators(8) = %d, want 12", got)
+	}
+	// Non power of two rounds up.
+	if got := SortComparators(9); got != SortComparators(16) {
+		t.Errorf("SortComparators(9) = %d, want %d", got, SortComparators(16))
+	}
+	// Work is superlinear: per-element comparator count grows with n.
+	if float64(SortComparators(1<<12))/float64(1<<12) <= float64(SortComparators(1<<6))/float64(1<<6) {
+		t.Error("sorting network work should grow superlinearly")
+	}
+}
+
+func TestSortQuick(t *testing.T) {
+	f := func(raw []int32) bool {
+		s := append([]int32(nil), raw...)
+		Sort(s)
+		return verify.Sorted(s) && verify.SameMultiset(s, raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeQuick(t *testing.T) {
+	sorted := func(raw []int32) []int32 {
+		s := append([]int32(nil), raw...)
+		Sort(s)
+		return s
+	}
+	f := func(rawA, rawB []int32) bool {
+		a, b := sorted(rawA), sorted(rawB)
+		out := make([]int32, len(a)+len(b))
+		Merge(a, b, out)
+		return verify.Equal(out, verify.ReferenceMerge(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+package bitonic
+
+import (
+	"cmp"
+	"sync"
+)
+
+// Batcher's odd-even mergesort, the second classical sorting network from
+// the paper's reference [4]. It performs fewer compare-exchanges than the
+// bitonic network (its stages are sparser) and serves as an additional
+// member of the §V "problem-size dependent processor count" family in the
+// E9 comparisons.
+//
+// The iterative formulation is the canonical one: for phase sizes
+// P = 1, 2, 4, ... and sub-strides K = P, P/2, ..., 1, exchange (x, x+K)
+// whenever both indices fall in the same 2P-aligned region, restricted to
+// offsets j ≡ K (mod P) — Batcher's condition guaranteeing each sub-stage
+// touches every index at most once (so sub-stages parallelize with a
+// simple range split).
+
+// OddEvenSort sorts s in place with Batcher's odd-even merge network.
+// Arbitrary lengths are handled with the same max-padding scheme as Sort.
+func OddEvenSort[T cmp.Ordered](s []T) {
+	oddEvenSortWorkers(s, 1)
+}
+
+// OddEvenSortParallel evaluates each sub-stage with p workers.
+func OddEvenSortParallel[T cmp.Ordered](s []T, p int) {
+	if p < 1 {
+		panic("bitonic: worker count must be positive")
+	}
+	oddEvenSortWorkers(s, p)
+}
+
+func oddEvenSortWorkers[T cmp.Ordered](s []T, p int) {
+	n := len(s)
+	if n < 2 {
+		return
+	}
+	if m := nextPow2(n); m != n {
+		buf := padWithMax(s, m)
+		oddEvenNetwork(buf, p)
+		copy(s, buf[:n])
+		return
+	}
+	oddEvenNetwork(s, p)
+}
+
+// oddEvenNetwork runs the network on a power-of-two length slice with p
+// workers per sub-stage.
+func oddEvenNetwork[T cmp.Ordered](s []T, p int) {
+	n := len(s)
+	var wg sync.WaitGroup
+	for phase := 1; phase < n; phase <<= 1 {
+		for k := phase; k >= 1; k >>= 1 {
+			jStart := k % phase
+			// Sub-stage exchanges: (x, x+k) for x = jStart+i stepping
+			// blocks of 2k, i in [0, k), same 2*phase region.
+			stage := func(blockLo, blockHi int) {
+				for j := jStart + blockLo*2*k; j+k < n && j < jStart+blockHi*2*k; j += 2 * k {
+					for i := 0; i < k && j+i+k < n; i++ {
+						x := j + i
+						if x/(2*phase) == (x+k)/(2*phase) {
+							if s[x] > s[x+k] {
+								s[x], s[x+k] = s[x+k], s[x]
+							}
+						}
+					}
+				}
+			}
+			blocks := (n + 2*k - 1) / (2 * k)
+			if p == 1 || blocks == 1 {
+				stage(0, blocks)
+				continue
+			}
+			w := p
+			if w > blocks {
+				w = blocks
+			}
+			wg.Add(w)
+			for t := 0; t < w; t++ {
+				go func(lo, hi int) {
+					defer wg.Done()
+					stage(lo, hi)
+				}(t*blocks/w, (t+1)*blocks/w)
+			}
+			wg.Wait()
+		}
+	}
+}
+
+// OddEvenComparators reports the network's compare-exchange count for the
+// padded size, for the E9 work-count table.
+func OddEvenComparators(n int) int {
+	if n < 2 {
+		return 0
+	}
+	m := nextPow2(n)
+	count := 0
+	for phase := 1; phase < m; phase <<= 1 {
+		for k := phase; k >= 1; k >>= 1 {
+			for j := k % phase; j+k < m; j += 2 * k {
+				for i := 0; i < k && j+i+k < m; i++ {
+					if (j+i)/(2*phase) == (j+i+k)/(2*phase) {
+						count++
+					}
+				}
+			}
+		}
+	}
+	return count
+}
+
+// OddEvenMerge merges two sorted slices with Batcher's odd-even merge
+// network — the final phase of the odd-even mergesort applied to the
+// concatenation [a | b]. Work is Theta(N·logN) like the bitonic merger,
+// with a smaller constant; it joins the E9 comparison family. out must
+// have length len(a)+len(b).
+func OddEvenMerge[T cmp.Ordered](a, b, out []T) {
+	if len(out) != len(a)+len(b) {
+		panic("bitonic: output length mismatch")
+	}
+	n := len(out)
+	if len(a) == 0 {
+		copy(out, b)
+		return
+	}
+	if len(b) == 0 {
+		copy(out, a)
+		return
+	}
+	m := nextPow2(n)
+	buf := out
+	if m != n {
+		buf = make([]T, m)
+	}
+	// Layout [a | pad | b]: the network's final phase merges the sorted
+	// left half with the sorted right half, so the pad (copies of a's max,
+	// all >= a's elements, sorted position inside the left half's tail)
+	// must keep each half sorted. Use max(a's last, b's last) appended to
+	// a's half... the halves must each be sorted; placing pad after a
+	// keeps the left half sorted only if pad >= a's last. Then the merged
+	// result's first n slots hold the true merge iff pad also >= b's
+	// elements, i.e. pad = overall max.
+	half := m / 2
+	if len(a) > half || len(b) > half {
+		// Uneven split beyond the power-of-two halves: fall back on the
+		// full sorting network over the bitonic-style padded buffer, which
+		// handles any layout. (Rare: only when len(a) and len(b) differ by
+		// more than the padding can absorb.)
+		copy(buf, a)
+		pad := a[len(a)-1]
+		if b[len(b)-1] > pad {
+			pad = b[len(b)-1]
+		}
+		for i := len(a); i < m-len(b); i++ {
+			buf[i] = pad
+		}
+		copy(buf[m-len(b):], b)
+		oddEvenNetwork(buf, 1)
+		if m != n {
+			copy(out, buf[:n])
+		}
+		return
+	}
+	pad := a[len(a)-1]
+	if b[len(b)-1] > pad {
+		pad = b[len(b)-1]
+	}
+	copy(buf, a)
+	for i := len(a); i < half; i++ {
+		buf[i] = pad
+	}
+	copy(buf[half:], b)
+	for i := half + len(b); i < m; i++ {
+		buf[i] = pad
+	}
+	// Final phase of the odd-even mergesort: phase = half.
+	phase := half
+	for k := phase; k >= 1; k >>= 1 {
+		for j := k % phase; j+k < m; j += 2 * k {
+			for i := 0; i < k && j+i+k < m; i++ {
+				x := j + i
+				if x/(2*phase) == (x+k)/(2*phase) {
+					if buf[x] > buf[x+k] {
+						buf[x], buf[x+k] = buf[x+k], buf[x]
+					}
+				}
+			}
+		}
+	}
+	if m != n {
+		copy(out, buf[:n])
+	}
+}

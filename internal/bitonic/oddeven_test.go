@@ -1,0 +1,190 @@
+package bitonic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mergepath/internal/verify"
+	"mergepath/internal/workload"
+)
+
+func TestOddEvenSortPowerOfTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(210))
+	for _, n := range []int{2, 4, 16, 128, 1024} {
+		s := workload.Unsorted(rng, n)
+		want := append([]int32(nil), s...)
+		OddEvenSort(s)
+		if !verify.Sorted(s) {
+			t.Fatalf("n=%d: not sorted", n)
+		}
+		if !verify.SameMultiset(s, want) {
+			t.Fatalf("n=%d: elements lost", n)
+		}
+	}
+}
+
+func TestOddEvenSortArbitraryLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for n := 0; n <= 100; n++ {
+		s := workload.Unsorted(rng, n)
+		want := append([]int32(nil), s...)
+		OddEvenSort(s)
+		if !verify.Sorted(s) || !verify.SameMultiset(s, want) {
+			t.Fatalf("n=%d: failed: %v", n, s)
+		}
+	}
+}
+
+func TestOddEvenSortExhaustivePermutations(t *testing.T) {
+	// All permutations of 0..6: a sorting network must sort every one
+	// (0-1 principle would suffice, but permutations catch swaps too).
+	var perm func(s []int32, k int)
+	var fail []int32
+	perm = func(s []int32, k int) {
+		if fail != nil {
+			return
+		}
+		if k == len(s) {
+			c := append([]int32(nil), s...)
+			OddEvenSort(c)
+			if !verify.Sorted(c) {
+				fail = append([]int32(nil), s...)
+			}
+			return
+		}
+		for i := k; i < len(s); i++ {
+			s[k], s[i] = s[i], s[k]
+			perm(s, k+1)
+			s[k], s[i] = s[i], s[k]
+		}
+	}
+	perm([]int32{0, 1, 2, 3, 4, 5, 6}, 0)
+	if fail != nil {
+		t.Fatalf("network fails on permutation %v", fail)
+	}
+}
+
+func TestOddEvenZeroOnePrinciple(t *testing.T) {
+	// The 0-1 principle: a comparator network sorts all inputs iff it
+	// sorts all 0-1 inputs. Check every 0-1 vector for n=8 and n=16.
+	for _, n := range []int{8, 16} {
+		for bits := 0; bits < 1<<n; bits++ {
+			s := make([]int32, n)
+			for i := range s {
+				s[i] = int32((bits >> i) & 1)
+			}
+			OddEvenSort(s)
+			if !verify.Sorted(s) {
+				t.Fatalf("n=%d bits=%b: not sorted: %v", n, bits, s)
+			}
+		}
+	}
+}
+
+func TestOddEvenSortParallelAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(212))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(3000)
+		p := 1 + rng.Intn(8)
+		s1 := workload.Unsorted(rng, n)
+		s2 := append([]int32(nil), s1...)
+		OddEvenSort(s1)
+		OddEvenSortParallel(s2, p)
+		if !verify.Equal(s1, s2) {
+			t.Fatalf("n=%d p=%d: parallel disagrees", n, p)
+		}
+	}
+}
+
+func TestOddEvenSortParallelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	OddEvenSortParallel([]int32{2, 1}, 0)
+}
+
+func TestOddEvenComparators(t *testing.T) {
+	if got := OddEvenComparators(1); got != 0 {
+		t.Errorf("n=1: %d", got)
+	}
+	// Known value: odd-even mergesort on 8 inputs uses 19 comparators.
+	if got := OddEvenComparators(8); got != 19 {
+		t.Errorf("n=8: %d comparators, want 19", got)
+	}
+	// Fewer than bitonic at every size.
+	for _, n := range []int{8, 64, 1024} {
+		if OddEvenComparators(n) >= SortComparators(n) {
+			t.Errorf("n=%d: odd-even (%d) should beat bitonic (%d)",
+				n, OddEvenComparators(n), SortComparators(n))
+		}
+	}
+}
+
+func TestOddEvenQuick(t *testing.T) {
+	f := func(raw []int32) bool {
+		s := append([]int32(nil), raw...)
+		OddEvenSort(s)
+		return verify.Sorted(s) && verify.SameMultiset(s, raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOddEvenMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(213))
+	for trial := 0; trial < 150; trial++ {
+		kind := workload.Kinds()[trial%len(workload.Kinds())]
+		na, nb := rng.Intn(300), rng.Intn(300)
+		a, b := workload.Pair(kind, na, nb, int64(trial))
+		out := make([]int32, na+nb)
+		OddEvenMerge(a, b, out)
+		want := verify.ReferenceMerge(a, b)
+		if !verify.Equal(out, want) {
+			t.Fatalf("kind=%v na=%d nb=%d: mismatch", kind, na, nb)
+		}
+	}
+}
+
+func TestOddEvenMergeEdges(t *testing.T) {
+	var empty []int32
+	s := []int32{1, 2, 3}
+	out := make([]int32, 3)
+	OddEvenMerge(s, empty, out)
+	if !verify.Equal(out, s) {
+		t.Fatalf("empty b: %v", out)
+	}
+	OddEvenMerge(empty, s, out)
+	if !verify.Equal(out, s) {
+		t.Fatalf("empty a: %v", out)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		OddEvenMerge(s, s, nil)
+	}()
+}
+
+func TestOddEvenMergeExtremeSplits(t *testing.T) {
+	// len(a) far from len(b): exercises the fallback path.
+	rng := rand.New(rand.NewSource(214))
+	for trial := 0; trial < 50; trial++ {
+		na, nb := 1+rng.Intn(5), 200+rng.Intn(300)
+		if trial%2 == 0 {
+			na, nb = nb, na
+		}
+		a := workload.SortedUniform32(rng, na)
+		b := workload.SortedUniform32(rng, nb)
+		out := make([]int32, na+nb)
+		OddEvenMerge(a, b, out)
+		if !verify.Equal(out, verify.ReferenceMerge(a, b)) {
+			t.Fatalf("na=%d nb=%d: mismatch", na, nb)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package cachesim is a trace-driven, multi-core, set-associative cache
+// simulator with directory-based MESI-style coherence between private
+// caches. It stands in for the hardware the paper evaluated on (private
+// L1/L2 per core, shared L3, coherence over QPI): Go cannot portably
+// observe real cache misses, so the §IV experiments replay the algorithms'
+// recorded access traces (internal/trace) through this model and compare
+// miss and invalidation counts instead.
+//
+// The model is deliberately simple where simplicity does not distort the
+// paper's claims: LRU replacement, write-allocate/write-back, a flat
+// directory for coherence, and a single shared level behind the private
+// hierarchies. It is a counting model, not a timing model.
+package cachesim
+
+// Config describes one cache level.
+type Config struct {
+	SizeBytes int // total capacity
+	LineBytes int // line size, power of two
+	Ways      int // associativity; 0 means fully associative
+}
+
+// Sets returns the number of sets the configuration implies.
+func (c Config) Sets() int {
+	ways := c.Ways
+	lines := c.SizeBytes / c.LineBytes
+	if ways <= 0 || ways > lines {
+		ways = lines
+	}
+	return lines / ways
+}
+
+// line is one cache line's bookkeeping.
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+// CacheStats counts events at one cache level.
+type CacheStats struct {
+	Hits        uint64
+	Misses      uint64
+	Evictions   uint64
+	Writebacks  uint64 // dirty lines pushed to the next level
+	Invalidated uint64 // lines removed by coherence actions
+}
+
+// Cache is a single set-associative level.
+type Cache struct {
+	cfg   Config
+	sets  [][]line
+	shift uint // log2(LineBytes)
+	mask  uint64
+	clock uint64
+	stats CacheStats
+}
+
+// NewCache builds a cache level. LineBytes must be a power of two and
+// SizeBytes a multiple of LineBytes*Ways.
+func NewCache(cfg Config) *Cache {
+	if cfg.LineBytes <= 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic("cachesim: line size must be a positive power of two")
+	}
+	if cfg.SizeBytes < cfg.LineBytes {
+		panic("cachesim: cache smaller than one line")
+	}
+	nsets := cfg.Sets()
+	if nsets == 0 {
+		panic("cachesim: zero sets")
+	}
+	ways := (cfg.SizeBytes / cfg.LineBytes) / nsets
+	sets := make([][]line, nsets)
+	backing := make([]line, nsets*ways)
+	for i := range sets {
+		sets[i] = backing[i*ways : (i+1)*ways]
+	}
+	shift := uint(0)
+	for 1<<shift != cfg.LineBytes {
+		shift++
+	}
+	return &Cache{cfg: cfg, sets: sets, shift: shift, mask: uint64(nsets - 1)}
+}
+
+// lineID converts an address to its line-granular identifier.
+func (c *Cache) lineID(addr uint64) uint64 { return addr >> c.shift }
+
+// setOf returns the set index for a line id.
+func (c *Cache) setOf(id uint64) uint64 {
+	if len(c.sets) == 1 {
+		return 0
+	}
+	// Sets are a power of two for power-of-two configs; fall back to modulo
+	// otherwise.
+	if uint64(len(c.sets))&uint64(len(c.sets)-1) == 0 {
+		return id & uint64(len(c.sets)-1)
+	}
+	return id % uint64(len(c.sets))
+}
+
+// Lookup probes for the line containing addr. On a hit it refreshes LRU,
+// marks dirty if write, and returns true. On a miss it returns false and
+// changes nothing.
+func (c *Cache) Lookup(addr uint64, write bool) bool {
+	id := c.lineID(addr)
+	set := c.sets[c.setOf(id)]
+	for i := range set {
+		if set[i].valid && set[i].tag == id {
+			c.clock++
+			set[i].lru = c.clock
+			if write {
+				set[i].dirty = true
+			}
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Insert places the line containing addr, evicting the LRU way if needed.
+// It returns the evicted line id and whether it was dirty; evicted is
+// false when a free way existed.
+func (c *Cache) Insert(addr uint64, write bool) (evictedID uint64, evictedDirty, evicted bool) {
+	id := c.lineID(addr)
+	set := c.sets[c.setOf(id)]
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			goto place
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	evictedID, evictedDirty, evicted = set[victim].tag, set[victim].dirty, true
+	c.stats.Evictions++
+	if evictedDirty {
+		c.stats.Writebacks++
+	}
+place:
+	c.clock++
+	set[victim] = line{tag: id, valid: true, dirty: write, lru: c.clock}
+	return evictedID, evictedDirty, evicted
+}
+
+// Contains reports whether the line holding addr is resident.
+func (c *Cache) Contains(addr uint64) bool {
+	id := c.lineID(addr)
+	set := c.sets[c.setOf(id)]
+	for i := range set {
+		if set[i].valid && set[i].tag == id {
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateLine removes the line with the given line id, reporting whether
+// it was present and dirty.
+func (c *Cache) InvalidateLine(id uint64) (present, dirty bool) {
+	set := c.sets[c.setOf(id)]
+	for i := range set {
+		if set[i].valid && set[i].tag == id {
+			present, dirty = true, set[i].dirty
+			set[i] = line{}
+			c.stats.Invalidated++
+			return present, dirty
+		}
+	}
+	return false, false
+}
+
+// CleanLine clears the dirty bit of the line (coherence downgrade M->S),
+// reporting whether the line was present and had been dirty.
+func (c *Cache) CleanLine(id uint64) (present, wasDirty bool) {
+	set := c.sets[c.setOf(id)]
+	for i := range set {
+		if set[i].valid && set[i].tag == id {
+			wasDirty = set[i].dirty
+			set[i].dirty = false
+			return true, wasDirty
+		}
+	}
+	return false, false
+}
+
+// Stats returns the level's counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// Config returns the level's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// LineBytes reports the line size.
+func (c *Cache) LineBytes() int { return c.cfg.LineBytes }
+
+// FlushDirty invalidates every line, returning how many were dirty — the
+// end-of-run writeback accounting used by System.Flush.
+func (c *Cache) FlushDirty() int {
+	dirty := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid && set[i].dirty {
+				dirty++
+			}
+			set[i] = line{}
+		}
+	}
+	return dirty
+}

@@ -1,0 +1,132 @@
+package cachesim
+
+import "testing"
+
+func TestConfigSets(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want int
+	}{
+		{Config{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8}, 64},
+		{Config{SizeBytes: 1 << 10, LineBytes: 64, Ways: 1}, 16},  // direct mapped
+		{Config{SizeBytes: 1 << 10, LineBytes: 64, Ways: 0}, 1},   // fully associative
+		{Config{SizeBytes: 1 << 10, LineBytes: 64, Ways: 100}, 1}, // clamped to capacity
+	}
+	for _, c := range cases {
+		if got := c.cfg.Sets(); got != c.want {
+			t.Errorf("%+v: sets=%d want %d", c.cfg, got, c.want)
+		}
+	}
+}
+
+func TestNewCachePanics(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"zero-line":    {SizeBytes: 1024, LineBytes: 0, Ways: 1},
+		"nonpow2-line": {SizeBytes: 1024, LineBytes: 48, Ways: 1},
+		"tiny":         {SizeBytes: 32, LineBytes: 64, Ways: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			NewCache(cfg)
+		}()
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(Config{SizeBytes: 256, LineBytes: 64, Ways: 2}) // 2 sets x 2 ways
+	if c.Lookup(0, false) {
+		t.Fatal("cold cache hit")
+	}
+	c.Insert(0, false)
+	if !c.Lookup(0, false) {
+		t.Fatal("miss after insert")
+	}
+	if !c.Lookup(63, false) {
+		t.Fatal("same line, different byte: should hit")
+	}
+	if c.Lookup(64, false) {
+		t.Fatal("next line should miss")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2 ways, 2 sets of 64B lines: lines 0,2,4 all map to set 0.
+	c := NewCache(Config{SizeBytes: 256, LineBytes: 64, Ways: 2})
+	c.Insert(0*64, false)
+	c.Insert(2*64, false)
+	c.Lookup(0*64, false) // touch line 0: line 2 becomes LRU
+	evID, _, evicted := c.Insert(4*64, false)
+	if !evicted || evID != 2 {
+		t.Fatalf("evicted id=%d evicted=%v, want line 2", evID, evicted)
+	}
+	if !c.Contains(0) || c.Contains(2*64) || !c.Contains(4*64) {
+		t.Fatal("post-eviction residency wrong")
+	}
+}
+
+func TestCacheDirtyWriteback(t *testing.T) {
+	c := NewCache(Config{SizeBytes: 128, LineBytes: 64, Ways: 1}) // direct mapped, 2 sets
+	c.Insert(0, true)                                             // dirty
+	_, dirty, evicted := c.Insert(128, false)                     // same set (line 2 maps to set 0)
+	if !evicted || !dirty {
+		t.Fatalf("expected dirty eviction, got evicted=%v dirty=%v", evicted, dirty)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Fatalf("writebacks=%d", c.Stats().Writebacks)
+	}
+}
+
+func TestInvalidateAndClean(t *testing.T) {
+	c := NewCache(Config{SizeBytes: 256, LineBytes: 64, Ways: 2})
+	c.Insert(0, true)
+	present, dirty := c.InvalidateLine(0)
+	if !present || !dirty {
+		t.Fatalf("invalidate: present=%v dirty=%v", present, dirty)
+	}
+	if c.Contains(0) {
+		t.Fatal("line survived invalidation")
+	}
+	if present, _ := c.InvalidateLine(0); present {
+		t.Fatal("double invalidation reported presence")
+	}
+	c.Insert(64, true)
+	present, wasDirty := c.CleanLine(1)
+	if !present || !wasDirty {
+		t.Fatalf("clean: present=%v wasDirty=%v", present, wasDirty)
+	}
+	if _, wasDirty := c.CleanLine(1); wasDirty {
+		t.Fatal("clean twice reported dirty twice")
+	}
+}
+
+func TestFullyAssociativeNoConflicts(t *testing.T) {
+	// 16 lines fully associative: 16 distinct lines all fit regardless of
+	// address bits.
+	c := NewCache(Config{SizeBytes: 1024, LineBytes: 64, Ways: 0})
+	for i := 0; i < 16; i++ {
+		addr := uint64(i) * 4096 // would all collide in a direct-mapped cache
+		c.Insert(addr, false)
+	}
+	for i := 0; i < 16; i++ {
+		if !c.Contains(uint64(i) * 4096) {
+			t.Fatalf("line %d missing from fully associative cache", i)
+		}
+	}
+}
+
+func TestDirectMappedConflicts(t *testing.T) {
+	c := NewCache(Config{SizeBytes: 1024, LineBytes: 64, Ways: 1})
+	c.Insert(0, false)
+	c.Insert(1024, false) // same set in a 1KB direct-mapped cache
+	if c.Contains(0) {
+		t.Fatal("conflicting line should have evicted line 0")
+	}
+}

@@ -1,0 +1,149 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refCache is an intentionally naive reference model of a set-associative
+// LRU cache: per set, an ordered slice of line ids, most recently used
+// first. The production Cache must agree with it event for event.
+type refCache struct {
+	sets      int
+	ways      int
+	lineShift uint
+	mru       [][]uint64 // per set, MRU-first line ids
+	dirty     map[uint64]bool
+}
+
+func newRefCache(cfg Config) *refCache {
+	sets := cfg.Sets()
+	ways := (cfg.SizeBytes / cfg.LineBytes) / sets
+	shift := uint(0)
+	for 1<<shift != cfg.LineBytes {
+		shift++
+	}
+	return &refCache{
+		sets:      sets,
+		ways:      ways,
+		lineShift: shift,
+		mru:       make([][]uint64, sets),
+		dirty:     map[uint64]bool{},
+	}
+}
+
+func (r *refCache) setOf(id uint64) int {
+	if r.sets == 1 {
+		return 0
+	}
+	return int(id % uint64(r.sets))
+}
+
+// access performs a full lookup+fill, returning whether it hit and, if a
+// line was evicted, its id and dirtiness.
+func (r *refCache) access(addr uint64, write bool) (hit bool, evicted bool, evID uint64, evDirty bool) {
+	id := addr >> r.lineShift
+	set := r.setOf(id)
+	lines := r.mru[set]
+	for i, l := range lines {
+		if l == id {
+			copy(lines[1:i+1], lines[:i])
+			lines[0] = id
+			if write {
+				r.dirty[id] = true
+			}
+			return true, false, 0, false
+		}
+	}
+	if len(lines) == r.ways {
+		evID = lines[len(lines)-1]
+		evDirty = r.dirty[evID]
+		delete(r.dirty, evID)
+		lines = lines[:len(lines)-1]
+		evicted = true
+	}
+	r.mru[set] = append([]uint64{id}, lines...)
+	if write {
+		r.dirty[id] = true
+	}
+	return false, evicted, evID, evDirty
+}
+
+// TestCacheAgainstReferenceModel drives random traces through the real
+// Cache and the naive model and demands identical hit/miss/eviction
+// behaviour — the standard model-based check that the simulator measures
+// what it claims.
+func TestCacheAgainstReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(230))
+	configs := []Config{
+		{SizeBytes: 512, LineBytes: 64, Ways: 1},
+		{SizeBytes: 512, LineBytes: 64, Ways: 2},
+		{SizeBytes: 1024, LineBytes: 64, Ways: 4},
+		{SizeBytes: 1024, LineBytes: 64, Ways: 0}, // fully associative
+		{SizeBytes: 2048, LineBytes: 128, Ways: 2},
+	}
+	for _, cfg := range configs {
+		real := NewCache(cfg)
+		ref := newRefCache(cfg)
+		addrSpace := uint64(cfg.SizeBytes * 8) // 8x capacity: plenty of conflicts
+		for step := 0; step < 20000; step++ {
+			addr := uint64(rng.Int63n(int64(addrSpace)))
+			write := rng.Intn(3) == 0
+			wantHit, wantEv, wantEvID, wantEvDirty := ref.access(addr, write)
+			gotHit := real.Lookup(addr, write)
+			if gotHit != wantHit {
+				t.Fatalf("cfg=%+v step=%d addr=%d: hit=%v want %v", cfg, step, addr, gotHit, wantHit)
+			}
+			if !gotHit {
+				evID, evDirty, evicted := real.Insert(addr, write)
+				if evicted != wantEv {
+					t.Fatalf("cfg=%+v step=%d: evicted=%v want %v", cfg, step, evicted, wantEv)
+				}
+				if evicted && (evID != wantEvID || evDirty != wantEvDirty) {
+					t.Fatalf("cfg=%+v step=%d: evicted (%d,%v) want (%d,%v)",
+						cfg, step, evID, evDirty, wantEvID, wantEvDirty)
+				}
+			}
+		}
+		st := real.Stats()
+		if st.Hits+st.Misses != 20000 {
+			t.Fatalf("cfg=%+v: accounted %d accesses", cfg, st.Hits+st.Misses)
+		}
+	}
+}
+
+// TestFlushDirtyCountsAll verifies the flush accounting used by
+// System.Flush.
+func TestFlushDirtyCountsAll(t *testing.T) {
+	c := NewCache(Config{SizeBytes: 512, LineBytes: 64, Ways: 2})
+	c.Insert(0, true)
+	c.Insert(64, false)
+	c.Insert(128, true)
+	if got := c.FlushDirty(); got != 2 {
+		t.Fatalf("flushed %d dirty lines, want 2", got)
+	}
+	if c.Contains(0) || c.Contains(64) {
+		t.Fatal("flush must invalidate everything")
+	}
+	if got := c.FlushDirty(); got != 0 {
+		t.Fatalf("second flush found %d dirty lines", got)
+	}
+}
+
+// TestSystemFlushReachesMemory checks end-of-run writeback accounting at
+// the system level.
+func TestSystemFlushReachesMemory(t *testing.T) {
+	sys := NewSystem(SystemConfig{
+		Cores:   1,
+		Private: []Config{{SizeBytes: 512, LineBytes: 64, Ways: 2}},
+		Shared:  &Config{SizeBytes: 4096, LineBytes: 64, Ways: 4},
+	})
+	sys.Access(0, 0, true)
+	sys.Access(0, 64, true)
+	before := sys.Stats().MemoryWrites
+	sys.Flush()
+	after := sys.Stats().MemoryWrites
+	if after-before != 2 {
+		t.Fatalf("flush wrote %d lines to memory, want 2", after-before)
+	}
+}

@@ -1,0 +1,350 @@
+package cachesim
+
+import (
+	"fmt"
+
+	"mergepath/internal/trace"
+)
+
+// SystemConfig describes a multi-core memory system: every core gets its
+// own private hierarchy (innermost level first), all cores share an
+// optional outer level, and misses beyond that go to memory.
+type SystemConfig struct {
+	Cores   int
+	Private []Config // per-core levels, innermost (L1) first; may be empty
+	Shared  *Config  // shared last-level cache; nil means none
+}
+
+// SystemStats aggregates a replay.
+type SystemStats struct {
+	Accesses      uint64
+	PrivateHits   []uint64 // per private level, summed over cores
+	PrivateMisses []uint64
+	SharedHits    uint64
+	SharedMisses  uint64
+	MemoryReads   uint64 // fills from memory
+	MemoryWrites  uint64 // dirty writebacks reaching memory
+	Invalidations uint64 // private lines killed by remote writes
+	Downgrades    uint64 // dirty private lines cleaned by remote reads
+	CoherenceWBs  uint64 // writebacks forced by coherence (subset of above)
+}
+
+// MissRate returns misses-at-the-innermost-level per access.
+func (s SystemStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	if len(s.PrivateMisses) > 0 {
+		return float64(s.PrivateMisses[0]) / float64(s.Accesses)
+	}
+	return float64(s.SharedMisses) / float64(s.Accesses)
+}
+
+// MemoryTraffic returns total line transfers to/from memory.
+func (s SystemStats) MemoryTraffic() uint64 { return s.MemoryReads + s.MemoryWrites }
+
+func (s SystemStats) String() string {
+	return fmt.Sprintf("accesses=%d l1miss=%.4f sharedMiss=%d memRd=%d memWr=%d inval=%d downgrade=%d",
+		s.Accesses, s.MissRate(), s.SharedMisses, s.MemoryReads, s.MemoryWrites, s.Invalidations, s.Downgrades)
+}
+
+// dirEntry tracks which cores hold a line, for coherence.
+type dirEntry struct {
+	sharers uint64 // bitmask over cores
+}
+
+// System is the multi-core simulator.
+type System struct {
+	cfg     SystemConfig
+	private [][]*Cache // [core][level]
+	shared  *Cache
+	dir     map[uint64]*dirEntry // line id -> sharers (line size = innermost level's)
+	lineSz  int
+	stats   SystemStats
+	perCore []CoreStats
+}
+
+// NewSystem builds a system. All private levels and the shared level must
+// use the same line size (real systems usually do; it keeps the directory
+// well-defined).
+func NewSystem(cfg SystemConfig) *System {
+	if cfg.Cores < 1 {
+		panic("cachesim: need at least one core")
+	}
+	if cfg.Cores > 64 {
+		panic("cachesim: directory bitmask supports at most 64 cores")
+	}
+	if len(cfg.Private) == 0 && cfg.Shared == nil {
+		panic("cachesim: system needs at least one cache level")
+	}
+	lineSz := 0
+	check := func(c Config) {
+		if lineSz == 0 {
+			lineSz = c.LineBytes
+		} else if c.LineBytes != lineSz {
+			panic("cachesim: all levels must share a line size")
+		}
+	}
+	for _, c := range cfg.Private {
+		check(c)
+	}
+	if cfg.Shared != nil {
+		check(*cfg.Shared)
+	}
+	sys := &System{
+		cfg:    cfg,
+		dir:    make(map[uint64]*dirEntry),
+		lineSz: lineSz,
+	}
+	sys.private = make([][]*Cache, cfg.Cores)
+	for c := range sys.private {
+		sys.private[c] = make([]*Cache, len(cfg.Private))
+		for l, lc := range cfg.Private {
+			sys.private[c][l] = NewCache(lc)
+		}
+	}
+	if cfg.Shared != nil {
+		sys.shared = NewCache(*cfg.Shared)
+	}
+	sys.stats.PrivateHits = make([]uint64, len(cfg.Private))
+	sys.stats.PrivateMisses = make([]uint64, len(cfg.Private))
+	sys.perCore = make([]CoreStats, cfg.Cores)
+	return sys
+}
+
+// Access replays one data access by the given core.
+func (s *System) Access(core int, addr uint64, write bool) {
+	if core < 0 || core >= s.cfg.Cores {
+		panic("cachesim: core index out of range")
+	}
+	s.stats.Accesses++
+	id := addr >> log2(uint64(s.lineSz))
+
+	// Coherence first: a write invalidates all other private copies; a read
+	// downgrades a remote dirty copy (the owner writes back and keeps a
+	// clean copy — MESI's M->S on a remote read).
+	if len(s.cfg.Private) > 0 {
+		if e := s.dir[id]; e != nil {
+			if write {
+				others := e.sharers &^ (1 << uint(core))
+				for c := 0; others != 0; c++ {
+					if others&(1<<uint(c)) == 0 {
+						continue
+					}
+					others &^= 1 << uint(c)
+					dirty := false
+					for _, cache := range s.private[c] {
+						if present, d := cache.InvalidateLine(id); present {
+							s.stats.Invalidations++
+							dirty = dirty || d
+						}
+					}
+					if dirty {
+						s.stats.CoherenceWBs++
+						s.fillShared(id, true)
+					}
+				}
+				e.sharers &= 1 << uint(core)
+			} else {
+				others := e.sharers &^ (1 << uint(core))
+				for c := 0; others != 0; c++ {
+					if others&(1<<uint(c)) == 0 {
+						continue
+					}
+					others &^= 1 << uint(c)
+					for _, cache := range s.private[c] {
+						if present, wasDirty := cache.CleanLine(id); present && wasDirty {
+							s.stats.Downgrades++
+							s.stats.CoherenceWBs++
+							s.fillShared(id, true)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Walk the private hierarchy innermost-out.
+	levels := s.private[core]
+	hitLevel := -1
+	for l, cache := range levels {
+		if cache.Lookup(addr, write) {
+			s.stats.PrivateHits[l]++
+			hitLevel = l
+			break
+		}
+		s.stats.PrivateMisses[l]++
+	}
+	s.perCore[core].Accesses++
+	if hitLevel != -1 {
+		s.perCore[core].PrivateHits++
+	} else {
+		// Miss in all private levels: consult the shared level, then memory.
+		// With private levels present the dirty data stays innermost, so the
+		// shared copy is clean; with no private levels the shared level IS
+		// the point of coherency and a write dirties it directly.
+		sharedWrite := write && len(levels) == 0
+		if s.shared != nil {
+			if s.shared.Lookup(addr, sharedWrite) {
+				s.stats.SharedHits++
+				s.perCore[core].SharedHits++
+			} else {
+				s.stats.SharedMisses++
+				s.stats.MemoryReads++
+				s.perCore[core].MemoryReads++
+				s.insertShared(addr, sharedWrite)
+			}
+		} else {
+			s.stats.MemoryReads++
+			s.perCore[core].MemoryReads++
+		}
+	}
+	// Fill every private level above the hit (or all on a full miss).
+	fillTo := hitLevel
+	if fillTo == -1 {
+		fillTo = len(levels)
+	}
+	for l := fillTo - 1; l >= 0; l-- {
+		s.insertPrivate(core, l, addr, write)
+	}
+	if len(levels) > 0 {
+		s.track(core, id)
+	}
+}
+
+// insertPrivate places a line in one private level, spilling the victim to
+// the next level (or the shared level / memory past the last).
+func (s *System) insertPrivate(core, level int, addr uint64, write bool) {
+	evID, evDirty, evicted := s.private[core][level].Insert(addr, write)
+	if !evicted {
+		return
+	}
+	if level+1 < len(s.private[core]) {
+		// Victim moves outward one private level (exclusive-style spill).
+		evAddr := evID << log2(uint64(s.lineSz))
+		evID2, evDirty2, evicted2 := s.private[core][level+1].Insert(evAddr, evDirty)
+		if evicted2 {
+			s.spillFromLastPrivate(core, evID2, evDirty2, level+1)
+		}
+		return
+	}
+	s.spillFromLastPrivate(core, evID, evDirty, level)
+}
+
+// spillFromLastPrivate handles a victim leaving the outermost private
+// level: dirty victims are written back to the shared level (or memory);
+// either way the core no longer holds the line, so the directory is
+// updated — unless the line is still resident in an inner level of the
+// same core (possible with the non-inclusive spill), in which case
+// ownership is retained.
+func (s *System) spillFromLastPrivate(core int, id uint64, dirty bool, fromLevel int) {
+	if dirty {
+		s.fillShared(id, true)
+	}
+	for l := 0; l <= fromLevel; l++ {
+		if s.private[core][l].Contains(id << log2(uint64(s.lineSz))) {
+			return
+		}
+	}
+	if e := s.dir[id]; e != nil {
+		e.sharers &^= 1 << uint(core)
+		if e.sharers == 0 {
+			delete(s.dir, id)
+		}
+	}
+}
+
+// fillShared lodges a (possibly dirty) line in the shared level on behalf
+// of a writeback; shared victims that are dirty count as memory writes.
+func (s *System) fillShared(id uint64, dirty bool) {
+	if s.shared == nil {
+		if dirty {
+			s.stats.MemoryWrites++
+		}
+		return
+	}
+	addr := id << log2(uint64(s.lineSz))
+	// Writeback probes count in the shared Cache's own hit/miss counters but
+	// not in SystemStats.SharedMisses, which tracks demand misses only.
+	if s.shared.Lookup(addr, dirty) {
+		return
+	}
+	s.insertShared(addr, dirty)
+}
+
+// insertShared inserts into the shared cache, emitting a memory write for a
+// dirty victim.
+func (s *System) insertShared(addr uint64, dirty bool) {
+	if _, evDirty, evicted := s.shared.Insert(addr, dirty); evicted && evDirty {
+		s.stats.MemoryWrites++
+	}
+}
+
+// track records the core as a sharer of the line.
+func (s *System) track(core int, id uint64) {
+	e := s.dir[id]
+	if e == nil {
+		e = &dirEntry{}
+		s.dir[id] = e
+	}
+	e.sharers |= 1 << uint(core)
+}
+
+// Run replays an event stream.
+func (s *System) Run(events []trace.Event) {
+	for _, e := range events {
+		s.Access(int(e.Core), e.Addr, e.Write)
+	}
+}
+
+// Stats returns the aggregate counters.
+func (s *System) Stats() SystemStats { return s.stats }
+
+// SharedStats exposes the shared level's raw counters (zero value if no
+// shared level is configured).
+func (s *System) SharedStats() CacheStats {
+	if s.shared == nil {
+		return CacheStats{}
+	}
+	return s.shared.Stats()
+}
+
+func log2(v uint64) uint {
+	n := uint(0)
+	for 1<<(n+1) <= v {
+		n++
+	}
+	return n
+}
+
+// Flush drains every cache at the end of a replay, charging one memory
+// write per dirty line so that runs of different lengths are comparable
+// (without it, dirt still resident when the trace ends would never be
+// accounted). The directory is cleared too; the system can be reused.
+func (s *System) Flush() {
+	for _, levels := range s.private {
+		for _, c := range levels {
+			s.stats.MemoryWrites += uint64(c.FlushDirty())
+		}
+	}
+	if s.shared != nil {
+		s.stats.MemoryWrites += uint64(s.shared.FlushDirty())
+	}
+	s.dir = make(map[uint64]*dirEntry)
+}
+
+// CoreStats counts one core's accesses and where they were served.
+type CoreStats struct {
+	Accesses    uint64
+	PrivateHits uint64 // hits in any private level
+	SharedHits  uint64
+	MemoryReads uint64 // demand fills that went to memory
+}
+
+// PerCore returns each core's access/service counts, for timing models
+// that need the slowest core (barrier semantics).
+func (s *System) PerCore() []CoreStats {
+	out := make([]CoreStats, len(s.perCore))
+	copy(out, s.perCore)
+	return out
+}

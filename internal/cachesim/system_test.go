@@ -1,0 +1,191 @@
+package cachesim
+
+import (
+	"testing"
+
+	"mergepath/internal/trace"
+)
+
+func smallSystem(cores int) *System {
+	return NewSystem(SystemConfig{
+		Cores:   cores,
+		Private: []Config{{SizeBytes: 512, LineBytes: 64, Ways: 2}},
+		Shared:  &Config{SizeBytes: 4096, LineBytes: 64, Ways: 4},
+	})
+}
+
+func TestNewSystemPanics(t *testing.T) {
+	for name, cfg := range map[string]SystemConfig{
+		"no-cores":  {Cores: 0, Shared: &Config{SizeBytes: 128, LineBytes: 64}},
+		"no-levels": {Cores: 1},
+		"mixed-lines": {Cores: 1, Private: []Config{{SizeBytes: 512, LineBytes: 64, Ways: 1}},
+			Shared: &Config{SizeBytes: 4096, LineBytes: 128, Ways: 1}},
+		"too-many-cores": {Cores: 65, Shared: &Config{SizeBytes: 128, LineBytes: 64}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			NewSystem(cfg)
+		}()
+	}
+}
+
+func TestColdMissesThenHits(t *testing.T) {
+	sys := smallSystem(1)
+	sys.Access(0, 0, false)
+	sys.Access(0, 4, false) // same line
+	st := sys.Stats()
+	if st.PrivateMisses[0] != 1 || st.PrivateHits[0] != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.SharedMisses != 1 || st.MemoryReads != 1 {
+		t.Fatalf("shared/memory stats %+v", st)
+	}
+}
+
+func TestSharedCacheCatchesPrivateEvictions(t *testing.T) {
+	sys := smallSystem(1)
+	// Touch 9 distinct lines: private holds 8 (512B/64B), so line 0 is
+	// evicted from private but stays in the 64-line shared cache.
+	for i := 0; i <= 8; i++ {
+		sys.Access(0, uint64(i*64), false)
+	}
+	sys.Access(0, 0, false) // private miss, shared hit
+	st := sys.Stats()
+	if st.SharedHits != 1 {
+		t.Fatalf("expected 1 shared hit, got %+v", st)
+	}
+	if st.MemoryReads != 9 {
+		t.Fatalf("memory reads %d, want 9", st.MemoryReads)
+	}
+}
+
+func TestWriteInvalidatesRemoteCopies(t *testing.T) {
+	sys := smallSystem(2)
+	sys.Access(0, 0, false) // core 0 reads the line
+	sys.Access(1, 0, false) // core 1 reads: both share
+	sys.Access(1, 0, true)  // core 1 writes: core 0's copy dies
+	st := sys.Stats()
+	if st.Invalidations != 1 {
+		t.Fatalf("invalidations=%d, want 1", st.Invalidations)
+	}
+	// Core 0 re-reads: private miss (copy was invalidated), and core 1's
+	// dirty copy is downgraded with a coherence writeback.
+	sys.Access(0, 0, false)
+	st = sys.Stats()
+	if st.Downgrades != 1 {
+		t.Fatalf("downgrades=%d, want 1", st.Downgrades)
+	}
+	if st.PrivateMisses[0] != 3 { // two cold + one coherence miss
+		t.Fatalf("private misses=%d, want 3", st.PrivateMisses[0])
+	}
+}
+
+func TestRemoteReadOfCleanLineNoTraffic(t *testing.T) {
+	sys := smallSystem(2)
+	sys.Access(0, 0, false)
+	sys.Access(1, 0, false)
+	st := sys.Stats()
+	if st.Invalidations != 0 || st.Downgrades != 0 {
+		t.Fatalf("clean sharing should be free: %+v", st)
+	}
+}
+
+func TestFalseSharingStorm(t *testing.T) {
+	// Two cores alternately writing the same line must invalidate each
+	// other every time — the coherence pathology the paper's §IV warns
+	// about for private-cache systems.
+	sys := smallSystem(2)
+	const rounds = 50
+	for i := 0; i < rounds; i++ {
+		sys.Access(0, 0, true)
+		sys.Access(1, 4, true) // same line, different word
+	}
+	st := sys.Stats()
+	if st.Invalidations < 2*rounds-2 {
+		t.Fatalf("invalidations=%d, want ~%d", st.Invalidations, 2*rounds)
+	}
+}
+
+func TestWritebackReachesMemory(t *testing.T) {
+	// One-level system (no shared): dirty private evictions must count as
+	// memory writes.
+	sys := NewSystem(SystemConfig{
+		Cores:   1,
+		Private: []Config{{SizeBytes: 128, LineBytes: 64, Ways: 1}},
+	})
+	sys.Access(0, 0, true)
+	sys.Access(0, 128, true) // evicts dirty line 0 (same set)
+	st := sys.Stats()
+	if st.MemoryWrites != 1 {
+		t.Fatalf("memory writes=%d, want 1", st.MemoryWrites)
+	}
+}
+
+func TestTwoPrivateLevels(t *testing.T) {
+	sys := NewSystem(SystemConfig{
+		Cores: 1,
+		Private: []Config{
+			{SizeBytes: 128, LineBytes: 64, Ways: 1},  // tiny L1: 2 lines
+			{SizeBytes: 1024, LineBytes: 64, Ways: 2}, // L2: 16 lines
+		},
+	})
+	// Touch 4 lines mapping to L1 set 0: L1 thrashes, L2 holds them all.
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 4; i++ {
+			sys.Access(0, uint64(i*128), false)
+		}
+	}
+	st := sys.Stats()
+	if st.PrivateMisses[0] != 8 {
+		t.Fatalf("L1 misses=%d, want 8 (thrash)", st.PrivateMisses[0])
+	}
+	if st.PrivateHits[1] < 3 {
+		t.Fatalf("L2 hits=%d, want >=3 (victims cached)", st.PrivateHits[1])
+	}
+	if st.MemoryReads != 4 {
+		t.Fatalf("memory reads=%d, want 4 (compulsory only)", st.MemoryReads)
+	}
+}
+
+func TestRunReplaysEvents(t *testing.T) {
+	sys := smallSystem(2)
+	sys.Run([]trace.Event{
+		{Core: 0, Addr: 0},
+		{Core: 1, Addr: 0},
+		{Core: 1, Addr: 0, Write: true},
+	})
+	if st := sys.Stats(); st.Accesses != 3 || st.Invalidations != 1 {
+		t.Fatalf("replay stats %+v", st)
+	}
+}
+
+func TestAccessPanicsOnBadCore(t *testing.T) {
+	sys := smallSystem(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sys.Access(5, 0, false)
+}
+
+func TestMissRateAndTraffic(t *testing.T) {
+	var st SystemStats
+	if st.MissRate() != 0 {
+		t.Error("zero-access miss rate")
+	}
+	st = SystemStats{Accesses: 10, PrivateMisses: []uint64{5}, MemoryReads: 3, MemoryWrites: 2}
+	if st.MissRate() != 0.5 {
+		t.Errorf("miss rate %f", st.MissRate())
+	}
+	if st.MemoryTraffic() != 5 {
+		t.Errorf("traffic %d", st.MemoryTraffic())
+	}
+	if st.String() == "" {
+		t.Error("empty string form")
+	}
+}

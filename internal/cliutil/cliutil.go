@@ -1,0 +1,50 @@
+// Package cliutil holds the small flag-parsing helpers shared by the
+// experiment commands: element-count lists with K/M suffixes and
+// positive-integer lists.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSizes parses a comma-separated list of element counts; each entry
+// may carry a K (x1024) or M (x1048576) suffix, case-insensitive.
+func ParseSizes(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		mult := 1
+		switch {
+		case strings.HasSuffix(p, "M"), strings.HasSuffix(p, "m"):
+			mult = 1 << 20
+			p = p[:len(p)-1]
+		case strings.HasSuffix(p, "K"), strings.HasSuffix(p, "k"):
+			mult = 1 << 10
+			p = p[:len(p)-1]
+		}
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad size %q", p)
+		}
+		out = append(out, v*mult)
+	}
+	return out, nil
+}
+
+// ParsePositiveInts parses a comma-separated list of positive integers
+// (thread counts and the like).
+func ParsePositiveInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad count %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

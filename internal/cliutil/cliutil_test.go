@@ -1,0 +1,39 @@
+package cliutil
+
+import "testing"
+
+func TestParseSizes(t *testing.T) {
+	got, err := ParseSizes("1M, 4m,16K,1000, 2k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1 << 20, 4 << 20, 16 << 10, 1000, 2 << 10}
+	if len(got) != len(want) {
+		t.Fatalf("len %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("entry %d: %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseSizesErrors(t *testing.T) {
+	for _, bad := range []string{"", "x", "0", "-1", "1M,oops", "K"} {
+		if _, err := ParseSizes(bad); err == nil {
+			t.Errorf("%q: expected error", bad)
+		}
+	}
+}
+
+func TestParsePositiveInts(t *testing.T) {
+	got, err := ParsePositiveInts("1, 2,12")
+	if err != nil || len(got) != 3 || got[2] != 12 {
+		t.Fatalf("got %v err %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "-3", "a", "1,,2"} {
+		if _, err := ParsePositiveInts(bad); err == nil {
+			t.Errorf("%q: expected error", bad)
+		}
+	}
+}

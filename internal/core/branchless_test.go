@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mergepath/internal/verify"
+	"mergepath/internal/workload"
+)
+
+func TestMergeBranchFreeMatchesMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(170))
+	for trial := 0; trial < 120; trial++ {
+		kind := workload.Kinds()[trial%len(workload.Kinds())]
+		na, nb := rng.Intn(400), rng.Intn(400)
+		a, b := workload.Pair(kind, na, nb, int64(trial))
+		o1 := make([]int32, na+nb)
+		o2 := make([]int32, na+nb)
+		Merge(a, b, o1)
+		MergeBranchFree(a, b, o2)
+		if !verify.Equal(o1, o2) {
+			t.Fatalf("kind=%v na=%d nb=%d: kernels disagree", kind, na, nb)
+		}
+	}
+}
+
+func TestMergeStepsBranchFreeResumable(t *testing.T) {
+	rng := rand.New(rand.NewSource(171))
+	for trial := 0; trial < 60; trial++ {
+		na, nb := rng.Intn(200), rng.Intn(200)
+		a := workload.SortedUniform32(rng, na)
+		b := workload.SortedUniform32(rng, nb)
+		total := na + nb
+		want := make([]int32, total)
+		Merge(a, b, want)
+		got := make([]int32, total)
+		pt := Point{}
+		done := 0
+		for done < total {
+			chunk := 1 + rng.Intn(total-done)
+			next := MergeStepsBranchFree(a, b, pt, chunk, got[done:done+chunk])
+			if alt := MergeSteps(a, b, pt, chunk, make([]int32, chunk)); alt != next {
+				t.Fatalf("kernels reach different points: %+v vs %+v", next, alt)
+			}
+			pt = next
+			done += chunk
+		}
+		if !verify.Equal(got, want) {
+			t.Fatalf("trial %d: chunked branch-free merge differs", trial)
+		}
+	}
+}
+
+func TestMergeBranchFreePanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on bad output")
+			}
+		}()
+		MergeBranchFree([]int32{1}, []int32{2}, nil)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on bad steps")
+			}
+		}()
+		MergeStepsBranchFree([]int32{1}, []int32{2}, Point{}, 3, make([]int32, 3))
+	}()
+}
+
+func TestMergeBranchFreeQuick(t *testing.T) {
+	f := func(rawA, rawB []int32) bool {
+		a, b := sortedCopy(rawA), sortedCopy(rawB)
+		out := make([]int32, len(a)+len(b))
+		MergeBranchFree(a, b, out)
+		return verify.Equal(out, verify.ReferenceMerge(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMergeKernels(bench *testing.B) {
+	rng := rand.New(rand.NewSource(172))
+	for _, kind := range []workload.Kind{workload.Uniform, workload.Runs} {
+		a, b := workload.Pair(kind, 1<<20, 1<<20, 7)
+		_ = rng
+		out := make([]int32, 2<<20)
+		bench.Run("branching/"+string(kind), func(bench *testing.B) {
+			bench.SetBytes(int64(len(out)) * 4)
+			for i := 0; i < bench.N; i++ {
+				Merge(a, b, out)
+			}
+		})
+		bench.Run("branchfree/"+string(kind), func(bench *testing.B) {
+			bench.SetBytes(int64(len(out)) * 4)
+			for i := 0; i < bench.N; i++ {
+				MergeBranchFree(a, b, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,28 @@
+// Package core implements the Merge Path algorithm of Odeh, Green, Mwassi,
+// Shmueli and Birk ("Merge Path — Parallel Merging Made Simple", IPPS 2012).
+//
+// Merging two sorted arrays A and B corresponds to a monotone staircase walk
+// on an |A|x|B| grid: starting at the upper-left corner, the walk moves right
+// when A[i] > B[j] (consuming B[j]) and down otherwise (consuming A[i]).
+// The paper's key observations are:
+//
+//   - The k'th point of this "merge path" lies on the k'th cross diagonal of
+//     the grid (Lemma 8), so cutting the path at equispaced cross diagonals
+//     yields perfectly equal-length segments (Corollary 7).
+//   - Along any cross diagonal the binary merge matrix M[i,j] = (A[i] > B[j])
+//     is monotonically non-increasing (Corollary 12), so the path's crossing
+//     of a diagonal is the unique 1->0 transition and can be located with a
+//     binary search using O(log min(|A|,|B|)) comparisons (Theorem 14),
+//     without constructing either the path or the matrix.
+//
+// This package provides the diagonal search (SearchDiagonal), balanced
+// partitioning of a merge into any number of independent jobs (Partition),
+// sequential merge kernels, and the paper's Algorithm 1 (Parallel Merge),
+// which merges with p goroutines, no locks, and no inter-worker
+// communication.
+//
+// Convention and stability: we resolve ties by consuming from A first
+// (the path moves right only when A[i] > B[j], exactly as in the paper's
+// Definition 1). Consequently every merge in this package is stable when A
+// is regarded as preceding B.
+package core

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mergepath/internal/verify"
+)
+
+// The library is generic over cmp.Ordered; exercise type parameters other
+// than int32 to make sure nothing silently assumes integers.
+
+func TestMergeStrings(t *testing.T) {
+	a := []string{"apple", "fig", "pear"}
+	b := []string{"banana", "cherry", "kiwi", "zucchini"}
+	out := make([]string, 7)
+	ParallelMerge(a, b, out, 3)
+	want := []string{"apple", "banana", "cherry", "fig", "kiwi", "pear", "zucchini"}
+	if !verify.Equal(out, want) {
+		t.Fatalf("got %v", out)
+	}
+	pt := SearchDiagonal(a, b, 3)
+	if pt.A+pt.B != 3 {
+		t.Fatalf("string diagonal: %+v", pt)
+	}
+}
+
+func TestMergeFloats(t *testing.T) {
+	rng := rand.New(rand.NewSource(130))
+	a := make([]float64, 200)
+	b := make([]float64, 300)
+	fill := func(s []float64) {
+		v := -100.0
+		for i := range s {
+			v += rng.Float64() * 3
+			s[i] = v
+		}
+	}
+	fill(a)
+	fill(b)
+	out := make([]float64, 500)
+	ParallelMerge(a, b, out, 4)
+	if !verify.Sorted(out) {
+		t.Fatal("float merge unsorted")
+	}
+	// Partition invariants hold for floats too.
+	for _, pt := range Partition(a, b, 7) {
+		if pt.A > 0 && pt.B < len(b) && a[pt.A-1] > b[pt.B] {
+			t.Fatalf("float partition invariant broken at %+v", pt)
+		}
+	}
+}
+
+func TestMergeFloatsWithInfinities(t *testing.T) {
+	a := []float64{math.Inf(-1), -1, 0, math.Inf(1)}
+	b := []float64{-2, 0, 1}
+	out := make([]float64, 7)
+	ParallelMerge(a, b, out, 2)
+	if !verify.Sorted(out) {
+		t.Fatalf("infinity merge unsorted: %v", out)
+	}
+	if !math.IsInf(out[0], -1) || !math.IsInf(out[6], 1) {
+		t.Fatalf("infinities misplaced: %v", out)
+	}
+}
+
+func TestMergeUint64Extremes(t *testing.T) {
+	a := []uint64{0, 1, math.MaxUint64}
+	b := []uint64{2, math.MaxUint64 - 1, math.MaxUint64}
+	out := make([]uint64, 6)
+	ParallelMerge(a, b, out, 3)
+	if !verify.Sorted(out) {
+		t.Fatalf("uint64 merge unsorted: %v", out)
+	}
+	if out[5] != math.MaxUint64 || out[4] != math.MaxUint64 {
+		t.Fatalf("max values misplaced: %v", out)
+	}
+}
+
+func TestMergeBytes(t *testing.T) {
+	a := []byte{'a', 'c', 'e'}
+	b := []byte{'b', 'd'}
+	out := make([]byte, 5)
+	Merge(a, b, out)
+	if string(out) != "abcde" {
+		t.Fatalf("byte merge: %q", out)
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mergepath/internal/verify"
+	"mergepath/internal/workload"
+)
+
+func TestHierarchicalMergeMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(110))
+	for trial := 0; trial < 120; trial++ {
+		kind := workload.Kinds()[trial%len(workload.Kinds())]
+		na, nb := rng.Intn(600), rng.Intn(600)
+		a, b := workload.Pair(kind, na, nb, int64(trial))
+		cfg := HierarchicalConfig{Blocks: 1 + rng.Intn(6), TeamSize: 1 + rng.Intn(5)}
+		out := make([]int32, na+nb)
+		HierarchicalMerge(a, b, out, cfg)
+		if !verify.Equal(out, verify.ReferenceMerge(a, b)) {
+			t.Fatalf("kind=%v na=%d nb=%d cfg=%+v: mismatch", kind, na, nb, cfg)
+		}
+	}
+}
+
+func TestHierarchicalMergeDegenerate(t *testing.T) {
+	// Zero-valued config behaves like a sequential merge.
+	a := []int32{1, 3, 5}
+	b := []int32{2, 4}
+	out := make([]int32, 5)
+	HierarchicalMerge(a, b, out, HierarchicalConfig{})
+	if !verify.IsMergeOf(out, a, b) {
+		t.Fatalf("zero config: %v", out)
+	}
+	// Empty inputs.
+	var empty []int32
+	HierarchicalMerge(empty, empty, nil, HierarchicalConfig{Blocks: 4, TeamSize: 4})
+	// More blocks than elements.
+	out2 := make([]int32, 2)
+	HierarchicalMerge([]int32{9}, []int32{1}, out2, HierarchicalConfig{Blocks: 64, TeamSize: 8})
+	if out2[0] != 1 || out2[1] != 9 {
+		t.Fatalf("tiny input: %v", out2)
+	}
+}
+
+func TestHierarchicalMergePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on output length mismatch")
+		}
+	}()
+	HierarchicalMerge([]int32{1}, []int32{2}, nil, HierarchicalConfig{})
+}
+
+func TestHierarchicalEquivalentToFlat(t *testing.T) {
+	// Blocks=p, TeamSize=1 must be bitwise identical to ParallelMerge.
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 40; trial++ {
+		na, nb := rng.Intn(1000), rng.Intn(1000)
+		p := 1 + rng.Intn(8)
+		a := workload.SortedUniform32(rng, na)
+		b := workload.SortedUniform32(rng, nb)
+		o1 := make([]int32, na+nb)
+		o2 := make([]int32, na+nb)
+		ParallelMerge(a, b, o1, p)
+		HierarchicalMerge(a, b, o2, HierarchicalConfig{Blocks: p, TeamSize: 1})
+		if !verify.Equal(o1, o2) {
+			t.Fatalf("trial %d: flat and hierarchical diverge", trial)
+		}
+	}
+}
+
+func TestPartitionRanks(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	for trial := 0; trial < 60; trial++ {
+		na, nb := rng.Intn(300), rng.Intn(300)
+		a := workload.SortedUniform32(rng, na)
+		b := workload.SortedUniform32(rng, nb)
+		path := Path(a, b)
+		// Arbitrary rank list, including duplicates and endpoints.
+		ranks := []int{0, na + nb}
+		for i := 0; i < 5; i++ {
+			ranks = append(ranks, rng.Intn(na+nb+1))
+		}
+		points := PartitionRanks(a, b, ranks)
+		for i, k := range ranks {
+			if points[i] != path[k] {
+				t.Fatalf("rank %d: %+v, path %+v", k, points[i], path[k])
+			}
+		}
+	}
+}
+
+func TestPartitionRanksEmpty(t *testing.T) {
+	if got := PartitionRanks([]int32{1}, []int32{2}, nil); len(got) != 0 {
+		t.Fatalf("nil ranks: %v", got)
+	}
+}
+
+func TestHierarchicalQuick(t *testing.T) {
+	f := func(rawA, rawB []int32, blocksSeed, teamSeed uint8) bool {
+		a, b := sortedCopy(rawA), sortedCopy(rawB)
+		cfg := HierarchicalConfig{Blocks: 1 + int(blocksSeed)%8, TeamSize: 1 + int(teamSeed)%4}
+		out := make([]int32, len(a)+len(b))
+		HierarchicalMerge(a, b, out, cfg)
+		return verify.Equal(out, verify.ReferenceMerge(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHierarchicalVsFlat(b *testing.B) {
+	rng := rand.New(rand.NewSource(113))
+	x := workload.SortedUniform32(rng, 1<<20)
+	y := workload.SortedUniform32(rng, 1<<20)
+	out := make([]int32, 2<<20)
+	b.Run("flat-p8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ParallelMerge(x, y, out, 8)
+		}
+	})
+	b.Run("blocks4-team2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			HierarchicalMerge(x, y, out, HierarchicalConfig{Blocks: 4, TeamSize: 2})
+		}
+	})
+	b.Run("blocks64-team1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			HierarchicalMerge(x, y, out, HierarchicalConfig{Blocks: 64, TeamSize: 1})
+		}
+	})
+}

@@ -1,0 +1,181 @@
+package extsort
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mergepath/internal/verify"
+	"mergepath/internal/workload"
+)
+
+func TestBlockDeviceBasics(t *testing.T) {
+	d := NewBlockDevice(64, 8)
+	if d.Capacity() != 64 || d.BlockRecords() != 8 {
+		t.Fatal("geometry wrong")
+	}
+	d.Write(0, []int32{1, 2, 3})
+	got := make([]int32, 3)
+	d.Read(0, got)
+	if got[0] != 1 || got[2] != 3 {
+		t.Fatalf("roundtrip: %v", got)
+	}
+	r, w := d.Stats()
+	if r != 1 || w != 1 {
+		t.Fatalf("io counts: r=%d w=%d", r, w)
+	}
+	// Range straddling a block boundary charges both blocks.
+	d.ResetStats()
+	d.Write(6, []int32{9, 9, 9, 9}) // records 6..9 touch blocks 0 and 1
+	if _, w := d.Stats(); w != 2 {
+		t.Fatalf("straddling write charged %d blocks", w)
+	}
+	// Zero-length I/O is free.
+	d.Read(0, nil)
+	if r, _ := d.Stats(); r != 0 {
+		t.Fatalf("empty read charged %d", r)
+	}
+}
+
+func TestBlockDevicePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"read-oob":    func() { NewBlockDevice(4, 2).Read(2, make([]int32, 3)) },
+		"write-oob":   func() { NewBlockDevice(4, 2).Write(-1, make([]int32, 1)) },
+		"zero-block":  func() { NewBlockDevice(4, 0) },
+		"neg-cap":     func() { NewBlockDevice(-1, 2) },
+		"load-exceed": func() { NewBlockDevice(1, 1).Load(make([]int32, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSortCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(150))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(5000)
+		m := 6 + rng.Intn(200)
+		block := 1 + rng.Intn(16)
+		p := 1 + rng.Intn(4)
+		data := workload.Unsorted(rng, n)
+		dev := NewBlockDevice(n, block)
+		dev.Load(data)
+		stats := Sort(dev, n, Config{MemoryRecords: m, Workers: p})
+		got := dev.Snapshot(n)
+		if !verify.Sorted(got) {
+			t.Fatalf("n=%d m=%d block=%d: not sorted", n, m, block)
+		}
+		if !verify.SameMultiset(got, data) {
+			t.Fatalf("n=%d m=%d: records lost", n, m)
+		}
+		if n > 0 && stats.Runs != (n+m-1)/m {
+			t.Fatalf("n=%d m=%d: %d runs, want %d", n, m, stats.Runs, (n+m-1)/m)
+		}
+	}
+}
+
+func TestSortEmptyAndTiny(t *testing.T) {
+	dev := NewBlockDevice(10, 4)
+	stats := Sort(dev, 0, Config{MemoryRecords: 6})
+	if stats.Runs != 0 || stats.BlockReads != 0 {
+		t.Fatalf("empty sort: %+v", stats)
+	}
+	dev.Load([]int32{3})
+	Sort(dev, 1, Config{MemoryRecords: 6})
+	if dev.Snapshot(1)[0] != 3 {
+		t.Fatal("single record")
+	}
+}
+
+func TestSortPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"range": func() { Sort(NewBlockDevice(4, 2), 5, Config{MemoryRecords: 6}) },
+		"mem":   func() { Sort(NewBlockDevice(4, 2), 4, Config{MemoryRecords: 5}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSortIOBound(t *testing.T) {
+	// The external merge sort bound: run formation reads+writes everything
+	// once; each of ceil(log2(ceil(N/M))) passes reads+writes everything
+	// once; plus the final copy-back when the pass count is odd, plus
+	// per-run block rounding slack.
+	rng := rand.New(rand.NewSource(151))
+	for trial := 0; trial < 20; trial++ {
+		n := 1000 + rng.Intn(20000)
+		m := 60 + rng.Intn(500)
+		block := 4 + rng.Intn(13)
+		data := workload.Unsorted(rng, n)
+		dev := NewBlockDevice(n, block)
+		dev.Load(data)
+		stats := Sort(dev, n, Config{MemoryRecords: m, Workers: 2})
+
+		runs := (n + m - 1) / m
+		passes := 0
+		for w := 1; w < runs; w <<= 1 {
+			passes++
+		}
+		if stats.MergePasses != passes {
+			t.Fatalf("n=%d m=%d: %d passes, want %d", n, m, stats.MergePasses, passes)
+		}
+		blocksN := uint64((n + block - 1) / block)
+		// Generous rounding slack: every buffered read/write can waste one
+		// block at each end, and there are ~n/(m/3) windows per pass.
+		slackPerPass := uint64(3*(n/(m/3)+2) + 2*runs)
+		totalPasses := uint64(passes + 1 + 1) // formation + passes + possible copy-back
+		bound := 2 * totalPasses * (blocksN + slackPerPass)
+		if got := stats.BlockReads + stats.BlockWrites; got > bound {
+			t.Fatalf("n=%d m=%d block=%d: %d block transfers exceed bound %d",
+				n, m, block, got, bound)
+		}
+	}
+}
+
+func TestSortIOScalesWithLogRuns(t *testing.T) {
+	// Doubling memory (halving runs) must not increase total I/O.
+	n := 1 << 15
+	data := workload.Unsorted(rand.New(rand.NewSource(152)), n)
+	var prev uint64 = math.MaxUint64
+	for _, m := range []int{1 << 8, 1 << 10, 1 << 12, 1 << 14} {
+		dev := NewBlockDevice(n, 16)
+		dev.Load(data)
+		stats := Sort(dev, n, Config{MemoryRecords: m, Workers: 2})
+		total := stats.BlockReads + stats.BlockWrites
+		if total > prev {
+			t.Fatalf("m=%d: I/O %d grew from %d with more memory", m, total, prev)
+		}
+		prev = total
+		if !verify.Sorted(dev.Snapshot(n)) {
+			t.Fatalf("m=%d: not sorted", m)
+		}
+	}
+}
+
+func TestSortQuick(t *testing.T) {
+	f := func(raw []int32, mSeed uint8, blockSeed uint8) bool {
+		n := len(raw)
+		dev := NewBlockDevice(n, 1+int(blockSeed)%8)
+		dev.Load(raw)
+		Sort(dev, n, Config{MemoryRecords: 6 + int(mSeed), Workers: 1})
+		got := dev.Snapshot(n)
+		return verify.Sorted(got) && verify.SameMultiset(got, raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,240 @@
+package harness
+
+import (
+	"fmt"
+
+	"mergepath/internal/cachesim"
+	"mergepath/internal/trace"
+	"mergepath/internal/workload"
+)
+
+// CacheOptions configures the simulated-cache experiments. Sizes here are
+// deliberately small: the simulator replays every access, so 128K-element
+// merges already produce millions of events.
+type CacheOptions struct {
+	Elements  int   // per input array
+	Seed      int64 // workload seed
+	LineBytes int
+	// RooflineSizes overrides Fig5Roofline's built-in size ladder (used by
+	// fast tests); empty selects the standard sizes.
+	RooflineSizes []int
+}
+
+// CacheDefaults returns the standard configuration: 64-byte lines, inputs
+// big enough to dwarf the simulated caches.
+func CacheDefaults() CacheOptions {
+	return CacheOptions{Elements: 1 << 16, Seed: 7, LineBytes: 64}
+}
+
+// sharedCacheSystem builds a system whose only level is one shared cache —
+// the cache-size-C model §IV.B reasons about.
+func sharedCacheSystem(cores, sizeBytes, lineBytes, ways int) *cachesim.System {
+	return cachesim.NewSystem(cachesim.SystemConfig{
+		Cores:  cores,
+		Shared: &cachesim.Config{SizeBytes: sizeBytes, LineBytes: lineBytes, Ways: ways},
+	})
+}
+
+// compulsoryFloor returns the minimum line traffic for merging two
+// n-element arrays: inputs read once, output lines fetched (write-allocate)
+// and written back once.
+func compulsoryFloor(n, lineBytes int) uint64 {
+	elemsPerLine := uint64(lineBytes / 4)
+	inputLines := uint64(2*n) / elemsPerLine
+	outputLines := uint64(2*n) / elemsPerLine
+	return inputLines + 2*outputLines
+}
+
+// runBasic replays Algorithm 1 with p workers on the given system and
+// returns total memory traffic (including the end-of-run flush).
+func runBasic(sys *cachesim.System, a, b []int32, p int, align uint64, lineBytes int) uint64 {
+	space := trace.NewSpace()
+	lay := trace.StandardLayout(space, len(a), len(b), align)
+	sys.Run(trace.RoundRobin(trace.ParallelMerge(a, b, p, lay)))
+	sys.Flush()
+	return sys.Stats().MemoryTraffic()
+}
+
+// runSPM replays Algorithm 2 likewise.
+func runSPM(sys *cachesim.System, a, b []int32, window, p int, align uint64, lineBytes int) uint64 {
+	space := trace.NewSpace()
+	lay := trace.StandardLayout(space, len(a), len(b), align)
+	sys.Run(trace.SPM(a, b, window, p, lay))
+	sys.Flush()
+	return sys.Stats().MemoryTraffic()
+}
+
+// SPMvsBasic reproduces E5 — the §IV.B claim that the segmented merge keeps
+// its working set resident regardless of how many workers share the cache.
+//
+// The adversarial-but-realistic setting: all three arrays are aligned to
+// the cache-span boundary (malloc of big arrays is page- and often
+// huge-page-aligned, and cache span divides those), and the per-worker
+// segment stride N/p is a multiple of the cache span, so in the BASIC
+// algorithm every worker's a-stream (and b-stream, and out-stream) maps to
+// the SAME cache sets — 3p streams fighting over a few sets. SPM confines
+// all p workers to one 3L-element window, so their streams occupy distinct
+// sets by construction. The paper's Theorem 16/§IV.B working-set argument
+// in measurable form.
+func SPMvsBasic(opt CacheOptions) *Table {
+	t := NewTable("E5 — shared-cache memory traffic, way-aligned arrays: basic Merge Path vs SPM",
+		"workload", "N per array", "cache", "ways", "p", "basic/floor", "spm/floor")
+	n := opt.Elements
+	for _, kind := range []workload.Kind{workload.Interleave, workload.Uniform} {
+		a, b := workload.Pair(kind, n, n, opt.Seed)
+		for _, cacheBytes := range []int{32 << 10, 128 << 10} {
+			window := cacheBytes / 4 / 3
+			for _, ways := range []int{4, 8} {
+				align := uint64(cacheBytes / ways) // way span: same-index lines alias
+				for _, p := range []int{1, 4, 8} {
+					floor := compulsoryFloor(n, opt.LineBytes)
+					basic := runBasic(sharedCacheSystem(max(p, 1), cacheBytes, opt.LineBytes, ways), a, b, p, align, opt.LineBytes)
+					spmT := runSPM(sharedCacheSystem(max(p, 1), cacheBytes, opt.LineBytes, ways), a, b, window, p, align, opt.LineBytes)
+					t.Addf(string(kind), humanSize(n), humanSize(cacheBytes), ways, p,
+						float64(basic)/float64(floor), float64(spmT)/float64(floor))
+				}
+			}
+		}
+	}
+	t.Note = "floor = compulsory line traffic (inputs once, output fetch+writeback). 1.00 is optimal.\n" +
+		"Basic: p worker triples of streams alias into the same sets (segment stride is a multiple of the way span).\n" +
+		"SPM: all workers share one cache-sized window, so streams occupy distinct sets (§IV.B)."
+	return t
+}
+
+// Associativity reproduces E6 — the §IV.B remark that 3-way associativity
+// suffices for the segmented algorithm. A single in-window merge touches
+// three element streams (a-window, b-window, out-window); with the arrays
+// way-aligned these three streams can collide in one set, so 1- and 2-way
+// caches thrash while >= 3 ways track the compulsory floor. The basic
+// algorithm with p workers needs up to 3p ways under the same alignment.
+func Associativity(opt CacheOptions) *Table {
+	t := NewTable("E6 — associativity sweep at constant set count (set-span-aligned arrays): traffic / compulsory floor",
+		"ways", "cache", "spm p=1", "spm p=4", "basic p=4", "basic p=8")
+	n := opt.Elements / 2
+	a, b := workload.Pair(workload.Interleave, n, n, opt.Seed)
+	// Standard associativity methodology: hold the set count fixed (so the
+	// aliasing geometry is identical in every row) and let capacity grow
+	// with the way count. Arrays are aligned to the set span, so
+	// same-logical-offset lines of a, b and out land in the same set.
+	const sets = 128
+	setSpan := uint64(sets * opt.LineBytes)
+	floor := float64(compulsoryFloor(n, opt.LineBytes))
+	for _, ways := range []int{1, 2, 3, 4, 6, 8, 12, 16, 24} {
+		cacheBytes := ways * int(setSpan)
+		window := cacheBytes / 4 / 3
+		spm1 := runSPM(sharedCacheSystem(1, cacheBytes, opt.LineBytes, ways), a, b, window, 1, setSpan, opt.LineBytes)
+		spm4 := runSPM(sharedCacheSystem(4, cacheBytes, opt.LineBytes, ways), a, b, window, 4, setSpan, opt.LineBytes)
+		basic4 := runBasic(sharedCacheSystem(4, cacheBytes, opt.LineBytes, ways), a, b, 4, setSpan, opt.LineBytes)
+		basic8 := runBasic(sharedCacheSystem(8, cacheBytes, opt.LineBytes, ways), a, b, 8, setSpan, opt.LineBytes)
+		t.Addf(ways, humanSize(cacheBytes),
+			float64(spm1)/floor, float64(spm4)/floor, float64(basic4)/floor, float64(basic8)/floor)
+	}
+	t.Note = "Paper remark (§IV.B): 3-way associativity suffices for SPM; the basic algorithm's worst case needs ~3p ways."
+	return t
+}
+
+// PrivateCaches reproduces the coherence side of §IV: the basic parallel
+// merge on private per-core caches, measuring invalidations and coherence
+// writebacks (false sharing arises only at the workers' output boundary
+// lines — the lock-free partitioning keeps everything else disjoint).
+func PrivateCaches(opt CacheOptions) *Table {
+	t := NewTable("§IV — private caches: coherence traffic of basic Merge Path",
+		"N per array", "p", "L1 miss rate", "invalidations", "downgrades", "boundary lines")
+	// Three regimes: n=2000 makes segment seams fall mid-line while the
+	// segments fit in L1, so boundary false sharing is visible (bounded by
+	// ~3 lines per seam); n=2048 line-aligns every seam, eliminating it;
+	// large n evicts boundary lines before the neighbour touches them —
+	// the paper's "no communication" Remark.
+	for _, n := range []int{2000, 2048, opt.Elements / 2} {
+		a, b := workload.Pair(workload.Uniform, n, n, opt.Seed)
+		for _, p := range []int{2, 4, 8} {
+			sys := cachesim.NewSystem(cachesim.SystemConfig{
+				Cores:   p,
+				Private: []cachesim.Config{{SizeBytes: 32 << 10, LineBytes: opt.LineBytes, Ways: 8}},
+				Shared:  &cachesim.Config{SizeBytes: 2 << 20, LineBytes: opt.LineBytes, Ways: 16},
+			})
+			space := trace.NewSpace()
+			lay := trace.StandardLayout(space, n, n, uint64(opt.LineBytes))
+			sys.Run(trace.RoundRobin(trace.ParallelMerge(a, b, p, lay)))
+			st := sys.Stats()
+			// Each adjacent worker pair shares at most one output line plus
+			// the input lines straddling the partition points.
+			t.Addf(humanSize(n), p, fmt.Sprintf("%.4f", st.MissRate()), st.Invalidations, st.Downgrades, 3*(p-1))
+		}
+	}
+	t.Note = "Invalidations stay within ~3 lines per worker boundary: the Remark of §III in coherence-traffic form."
+	return t
+}
+
+// SortCacheTraffic reproduces E8: total simulated memory traffic of the
+// merge rounds of a merge sort (basic parallel merges vs segmented), from
+// sorted runs of one cache each, with way-aligned arrays as in E5.
+func SortCacheTraffic(opt CacheOptions) *Table {
+	t := NewTable("E8 — merge-round memory traffic of the sort (§IV.C): basic vs segmented",
+		"N total", "cache", "ways", "basic/floor", "spm/floor")
+	n := opt.Elements
+	cacheBytes := 32 << 10
+	cacheElems := cacheBytes / 4
+	window := cacheElems / 3
+	p := 4
+	ways := 4
+	align := uint64(cacheBytes / ways)
+
+	full, _ := workload.Pair(workload.Uniform, n, 0, opt.Seed)
+	var runs [][]int32
+	for lo := 0; lo < n; lo += cacheElems {
+		hi := min(lo+cacheElems, n)
+		runs = append(runs, append([]int32(nil), full[lo:hi]...))
+	}
+
+	basicTotal, spmTotal, floorTotal := uint64(0), uint64(0), uint64(0)
+	for len(runs) > 1 {
+		var next [][]int32
+		for m := 0; m+1 < len(runs); m += 2 {
+			a, b := runs[m], runs[m+1]
+			basicTotal += runBasic(sharedCacheSystem(p, cacheBytes, opt.LineBytes, ways), a, b, p, align, opt.LineBytes)
+			spmTotal += runSPM(sharedCacheSystem(p, cacheBytes, opt.LineBytes, ways), a, b, window, p, align, opt.LineBytes)
+			// floor for unequal halves: count directly.
+			elemsPerLine := uint64(opt.LineBytes / 4)
+			lines := uint64(len(a)+len(b)) / elemsPerLine
+			floorTotal += lines + 2*lines
+			merged := make([]int32, len(a)+len(b))
+			copyMerge(a, b, merged)
+			next = append(next, merged)
+		}
+		if len(runs)%2 == 1 {
+			next = append(next, runs[len(runs)-1])
+		}
+		runs = next
+	}
+	t.Addf(humanSize(n), humanSize(cacheBytes), ways,
+		float64(basicTotal)/float64(floorTotal), float64(spmTotal)/float64(floorTotal))
+	t.Note = "Block sort phase is identical for both variants and excluded; only merge rounds differ."
+	return t
+}
+
+// copyMerge is a local two-pointer merge for advancing the sort state.
+func copyMerge(a, b, out []int32) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out[k] = a[i]
+			i++
+		} else {
+			out[k] = b[j]
+			j++
+		}
+		k++
+	}
+	for i < len(a) {
+		out[k] = a[i]
+		i++
+		k++
+	}
+	for j < len(b) {
+		out[k] = b[j]
+		j++
+		k++
+	}
+}

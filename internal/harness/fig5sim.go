@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"fmt"
+
+	"mergepath/internal/core"
+	"mergepath/internal/workload"
+)
+
+// Fig5Simulated reproduces Figure 5's *shape* on any host, including
+// single-core containers where wall-clock speedup is unmeasurable: it
+// computes each worker's operation count under the PRAM cost model the
+// paper analyzes (diagonal-search comparisons plus merge steps) and takes
+// simulated parallel time as the slowest worker (the barrier semantics of
+// Algorithm 1). Speedup = T(1)/T(p) = N / (N/p + O(logN)) — near-linear
+// with the slight sub-linearity the partition overhead causes. What this
+// deliberately does not model is memory-bandwidth saturation, the paper's
+// other droop source at 64M/256M elements; see EXPERIMENTS.md.
+func Fig5Simulated(opt Options) *Table {
+	header := []string{"threads"}
+	for _, n := range opt.Sizes {
+		header = append(header, fmt.Sprintf("%s speedup", humanSize(n)))
+	}
+	t := NewTable("Figure 5 (simulated PRAM cycles) — Merge Path speedup", header...)
+	t.Note = "Simulated time = slowest worker's ops (search comparisons + merge steps); use -experiment fig5 on a multi-core host for wall-clock."
+
+	type prepared struct{ a, b []int32 }
+	inputs := make([]prepared, len(opt.Sizes))
+	for i, n := range opt.Sizes {
+		a, b := workload.Pair(workload.Uniform, n, n, opt.Seed)
+		inputs[i] = prepared{a, b}
+	}
+	for _, p := range opt.Threads {
+		cells := []interface{}{p}
+		for i := range opt.Sizes {
+			in := inputs[i]
+			cells = append(cells, float64(simCycles(in.a, in.b, 1))/float64(simCycles(in.a, in.b, p)))
+		}
+		t.Addf(cells...)
+	}
+	return t
+}
+
+// simCycles returns the critical-path operation count of Algorithm 1 with
+// p workers: per worker, 2 ops per search comparison plus its segment
+// length in merge steps (each step = bounded ops regardless of outcome,
+// per Corollary 7); the barrier makes the maximum the elapsed time.
+func simCycles(a, b []int32, p int) int {
+	total := len(a) + len(b)
+	if p > total {
+		p = max(total, 1)
+	}
+	worst := 0
+	for i := 0; i < p; i++ {
+		lo := i * total / p
+		hi := (i + 1) * total / p
+		_, comparisons := core.SearchDiagonalCounted(a, b, lo)
+		cost := 2*comparisons + (hi - lo)
+		if cost > worst {
+			worst = cost
+		}
+	}
+	return worst
+}

@@ -1,0 +1,158 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Title", "col1", "column2")
+	tbl.Add("a", "b")
+	tbl.Add("longer-cell") // missing second cell -> blank
+	tbl.Add("x", "y", "dropped-extra")
+	tbl.Note = "footnote"
+	out := tbl.String()
+	for _, want := range []string{"Title", "col1", "column2", "longer-cell", "footnote", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "dropped-extra") {
+		t.Error("extra cell should have been dropped")
+	}
+	// All lines of the body should be equally aligned: header and rule have
+	// the same length.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("header/rule misaligned: %q vs %q", lines[1], lines[2])
+	}
+}
+
+func TestTableAddf(t *testing.T) {
+	tbl := NewTable("", "a", "b", "c")
+	tbl.Addf(7, 3.14159, "s")
+	if got := tbl.Rows[0]; got[0] != "7" || got[1] != "3.14" || got[2] != "s" {
+		t.Errorf("row %v", got)
+	}
+}
+
+// tinyOptions makes every experiment run in milliseconds for smoke tests.
+func tinyOptions() Options {
+	return Options{
+		Sizes:   []int{1 << 10},
+		Threads: []int{1, 2},
+		Reps:    1,
+		Warmup:  0,
+		Seed:    1,
+	}
+}
+
+func TestExperimentSmoke(t *testing.T) {
+	opt := tinyOptions()
+	for name, f := range map[string]func(Options) *Table{
+		"fig5":      Fig5,
+		"overhead":  Overhead,
+		"partition": PartitionCost,
+		"balance":   LoadBalance,
+		"related":   RelatedWork,
+		"sort":      SortSpeedup,
+		"window":    WindowSweep,
+		"kway":      KWay,
+	} {
+		tbl := f(opt)
+		if tbl == nil || len(tbl.Rows) == 0 {
+			t.Errorf("%s: empty table", name)
+			continue
+		}
+		if tbl.String() == "" {
+			t.Errorf("%s: empty rendering", name)
+		}
+	}
+}
+
+func TestCacheExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cache replay is slow")
+	}
+	opt := CacheOptions{Elements: 1 << 12, Seed: 1, LineBytes: 64}
+	for name, f := range map[string]func(CacheOptions) *Table{
+		"spm":     SPMvsBasic,
+		"assoc":   Associativity,
+		"private": PrivateCaches,
+		"sort":    SortCacheTraffic,
+	} {
+		tbl := f(opt)
+		if tbl == nil || len(tbl.Rows) == 0 {
+			t.Errorf("%s: empty table", name)
+			continue
+		}
+		if tbl.String() == "" {
+			t.Errorf("%s: empty rendering", name)
+		}
+	}
+}
+
+func TestHumanSize(t *testing.T) {
+	cases := map[int]string{
+		1 << 20: "1M",
+		4 << 20: "4M",
+		2 << 10: "2K",
+		1000:    "1000",
+		0:       "0",
+	}
+	for n, want := range cases {
+		if got := humanSize(n); got != want {
+			t.Errorf("humanSize(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	opt := Defaults()
+	if len(opt.Sizes) == 0 || len(opt.Threads) == 0 || opt.Reps < 1 {
+		t.Errorf("unusable defaults: %+v", opt)
+	}
+	copt := CacheDefaults()
+	if copt.Elements == 0 || copt.LineBytes == 0 {
+		t.Errorf("unusable cache defaults: %+v", copt)
+	}
+}
+
+func TestRooflineSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cache replay is slow")
+	}
+	tbl := Fig5Roofline(CacheOptions{Elements: 1 << 12, Seed: 1, LineBytes: 64,
+		RooflineSizes: []int{1 << 12, 1 << 13}})
+	if len(tbl.Rows) != 7 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+}
+
+func TestExternalSortIOSmoke(t *testing.T) {
+	tbl := ExternalSortIO(Options{Sizes: []int{1 << 12}, Seed: 1})
+	if len(tbl.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestHierarchicalSmoke(t *testing.T) {
+	tbl := Hierarchical(tinyOptions())
+	if len(tbl.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestSortNetworksSmoke(t *testing.T) {
+	tbl := SortNetworks(tinyOptions())
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+}
+
+func TestSetOpsSmoke(t *testing.T) {
+	tbl := SetOps(tinyOptions())
+	if len(tbl.Rows) != 9 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+}

@@ -1,0 +1,44 @@
+package harness
+
+import (
+	"fmt"
+
+	"mergepath/internal/core"
+	"mergepath/internal/stats"
+	"mergepath/internal/workload"
+)
+
+// Hierarchical is the two-level partitioning ablation: the flat Algorithm 1
+// against block/team decompositions with the same total worker count — the
+// structure Merge Path's GPU descendants use, measured here for wall time
+// and for the partition-search comparison counts (local searches bisect
+// only a block's worth of elements).
+func Hierarchical(opt Options) *Table {
+	t := NewTable("Ablation — flat Algorithm 1 vs two-level (blocks x team) decomposition",
+		"config", "workers", "time", "vs flat", "global search comparisons")
+	n := opt.Sizes[0]
+	a, b := workload.Pair(workload.Uniform, n, n, opt.Seed)
+	out := make([]int32, 2*n)
+	for _, total := range []int{4, 8, 12} {
+		flat := stats.Measure(opt.Warmup, opt.Reps, func() {
+			core.ParallelMerge(a, b, out, total)
+		}).Median()
+		_, flatComparisons := core.PartitionCounted(a, b, total)
+		t.Addf(fmt.Sprintf("flat p=%d", total), total, flat.String(), 1.0, flatComparisons)
+		for _, blocks := range []int{2, total} {
+			team := total / blocks
+			if team < 1 {
+				team = 1
+			}
+			cfg := core.HierarchicalConfig{Blocks: blocks, TeamSize: team}
+			med := stats.Measure(opt.Warmup, opt.Reps, func() {
+				core.HierarchicalMerge(a, b, out, cfg)
+			}).Median()
+			_, comparisons := core.PartitionCounted(a, b, blocks)
+			t.Addf(fmt.Sprintf("blocks=%d team=%d", blocks, team), blocks*team,
+				med.String(), stats.Speedup(flat, med), comparisons)
+		}
+	}
+	t.Note = "Global comparisons are the level-1 partition cost only; level-2 searches bisect <= a block (log(N/blocks))."
+	return t
+}

@@ -1,0 +1,40 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mergepath/internal/setops"
+	"mergepath/internal/stats"
+	"mergepath/internal/workload"
+)
+
+// SetOps is the X7 extension experiment: throughput of the parallel
+// sorted-set operations on Zipf-skewed postings-shaped inputs.
+func SetOps(opt Options) *Table {
+	t := NewTable("Extension — parallel sorted-set algebra (Zipf-skewed inputs)",
+		"op", "p", "time", "output size")
+	n := opt.Sizes[0]
+	rng := rand.New(rand.NewSource(opt.Seed))
+	a := workload.SortedZipf(rng, n, n/4)
+	b := workload.SortedZipf(rng, n, n/4)
+	ops := []struct {
+		name string
+		run  func(p int) int
+	}{
+		{"union", func(p int) int { return len(setops.Union(a, b, p)) }},
+		{"intersect", func(p int) int { return len(setops.Intersect(a, b, p)) }},
+		{"diff", func(p int) int { return len(setops.Diff(a, b, p)) }},
+	}
+	for _, op := range ops {
+		for _, p := range []int{1, 4, 8} {
+			size := 0
+			med := stats.Measure(opt.Warmup, opt.Reps, func() {
+				size = op.run(p)
+			}).Median()
+			t.Addf(op.name, p, med.String(), size)
+		}
+	}
+	t.Note = fmt.Sprintf("inputs: 2 x %s Zipf(1.3) document-frequency lists.", humanSize(n))
+	return t
+}

@@ -1,0 +1,190 @@
+// Package kway builds k-way merging out of the paper's pairwise parallel
+// merge — the "later rounds" structure of merge sort that motivates the
+// paper's introduction, packaged as a standalone utility (merging sorted
+// runs from k producers: log-structured storage compactions, sharded log
+// replay, external sort phases). A binary tree of merge-path merges does
+// O(N·log k) total work with every level fully parallel; a sequential
+// loser-tree heap merge is included as the classic baseline.
+package kway
+
+import (
+	"cmp"
+	"container/heap"
+
+	"mergepath/internal/core"
+)
+
+// Merge merges k sorted lists into a single sorted slice using rounds of
+// pairwise merge-path merges, with p workers shared across each round's
+// merges. Stability: the result orders equal elements by source list
+// index, then by position — the same guarantee sort.Stable would give on a
+// concatenation.
+func Merge[T cmp.Ordered](lists [][]T, p int) []T {
+	if p < 1 {
+		panic("kway: worker count must be positive")
+	}
+	total := 0
+	runs := make([][]T, 0, len(lists))
+	for _, l := range lists {
+		total += len(l)
+		runs = append(runs, l)
+	}
+	if len(runs) == 0 {
+		return nil
+	}
+	if len(runs) == 1 {
+		return append([]T(nil), runs[0]...)
+	}
+	for len(runs) > 1 {
+		// Each round writes into a fresh backing array; inputs (slices of
+		// the previous round's array or the caller's lists) stay intact.
+		buf := make([]T, total)
+		pairs := len(runs) / 2
+		next := make([][]T, 0, (len(runs)+1)/2)
+		perMerge := p / pairs
+		if perMerge < 1 {
+			perMerge = 1
+		}
+		type job struct{ a, b, out []T }
+		jobs := make([]job, 0, pairs)
+		offset := 0
+		for m := 0; m < pairs; m++ {
+			a, b := runs[2*m], runs[2*m+1]
+			out := buf[offset : offset+len(a)+len(b)]
+			offset += len(a) + len(b)
+			jobs = append(jobs, job{a, b, out})
+			next = append(next, out)
+		}
+		if len(runs)%2 == 1 {
+			last := runs[len(runs)-1]
+			out := buf[offset : offset+len(last)]
+			copy(out, last)
+			next = append(next, out)
+		}
+		done := make(chan struct{})
+		for _, j := range jobs {
+			go func(j job) {
+				core.ParallelMerge(j.a, j.b, j.out, perMerge)
+				done <- struct{}{}
+			}(j)
+		}
+		for range jobs {
+			<-done
+		}
+		runs = next
+	}
+	return runs[0]
+}
+
+// heapItem is one cursor into a source list.
+type heapItem[T cmp.Ordered] struct {
+	value T
+	list  int
+	pos   int
+}
+
+type mergeHeap[T cmp.Ordered] []heapItem[T]
+
+func (h mergeHeap[T]) Len() int { return len(h) }
+func (h mergeHeap[T]) Less(i, j int) bool {
+	if h[i].value != h[j].value {
+		return h[i].value < h[j].value
+	}
+	return h[i].list < h[j].list // stability across lists
+}
+func (h mergeHeap[T]) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap[T]) Push(x interface{}) { *h = append(*h, x.(heapItem[T])) }
+func (h *mergeHeap[T]) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// HeapMerge merges k sorted lists sequentially with a binary heap — the
+// O(N·log k) classic that the tree-of-merge-paths variant is benchmarked
+// against. Stable in the same sense as Merge.
+func HeapMerge[T cmp.Ordered](lists [][]T) []T {
+	total := 0
+	h := make(mergeHeap[T], 0, len(lists))
+	for i, l := range lists {
+		total += len(l)
+		if len(l) > 0 {
+			h = append(h, heapItem[T]{value: l[0], list: i, pos: 0})
+		}
+	}
+	heap.Init(&h)
+	out := make([]T, 0, total)
+	for h.Len() > 0 {
+		item := h[0]
+		out = append(out, item.value)
+		l := lists[item.list]
+		if item.pos+1 < len(l) {
+			h[0] = heapItem[T]{value: l[item.pos+1], list: item.list, pos: item.pos + 1}
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	return out
+}
+
+// MergeFunc is Merge under a caller-supplied strict weak ordering. The
+// cross-list tie rule matches Merge: lower list index wins. (The pairing
+// tree preserves it because round r merges neighbouring subtrees with the
+// lower-indexed one as the tie-winning first input.)
+func MergeFunc[T any](lists [][]T, p int, less func(x, y T) bool) []T {
+	if p < 1 {
+		panic("kway: worker count must be positive")
+	}
+	total := 0
+	runs := make([][]T, 0, len(lists))
+	for _, l := range lists {
+		total += len(l)
+		runs = append(runs, l)
+	}
+	if len(runs) == 0 {
+		return nil
+	}
+	if len(runs) == 1 {
+		return append([]T(nil), runs[0]...)
+	}
+	for len(runs) > 1 {
+		buf := make([]T, total)
+		pairs := len(runs) / 2
+		next := make([][]T, 0, (len(runs)+1)/2)
+		perMerge := p / pairs
+		if perMerge < 1 {
+			perMerge = 1
+		}
+		type job struct{ a, b, out []T }
+		jobs := make([]job, 0, pairs)
+		offset := 0
+		for m := 0; m < pairs; m++ {
+			a, b := runs[2*m], runs[2*m+1]
+			out := buf[offset : offset+len(a)+len(b)]
+			offset += len(a) + len(b)
+			jobs = append(jobs, job{a, b, out})
+			next = append(next, out)
+		}
+		if len(runs)%2 == 1 {
+			last := runs[len(runs)-1]
+			out := buf[offset : offset+len(last)]
+			copy(out, last)
+			next = append(next, out)
+		}
+		done := make(chan struct{})
+		for _, j := range jobs {
+			go func(j job) {
+				core.ParallelMergeFunc(j.a, j.b, j.out, perMerge, less)
+				done <- struct{}{}
+			}(j)
+		}
+		for range jobs {
+			<-done
+		}
+		runs = next
+	}
+	return runs[0]
+}

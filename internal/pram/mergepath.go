@@ -1,0 +1,224 @@
+package pram
+
+// This file runs the paper's Algorithm 1 on the PRAM machine model so its
+// CREW discipline, load balance and work complexity can be audited (the
+// claims of §II–III, experiments E4/E10/E11).
+
+// MergeResult bundles the audited merge's output array and the machine
+// report.
+type MergeResult struct {
+	Out    *Array
+	Report Report
+}
+
+// ParallelMerge executes Algorithm 1 with the machine's p processors as a
+// single phase (the algorithm has exactly one barrier, at the end): each
+// processor searches its start diagonal and merges its (|a|+|b|)/p output
+// segment. All element touches go through the machine, so the returned
+// report certifies whether this exact execution was CREW and how many
+// operations each processor performed.
+func ParallelMerge(m *Machine, a, b *Array) MergeResult {
+	total := a.Len() + b.Len()
+	out := m.NewZeroArray(total)
+	p := m.p
+	if p > total && total > 0 {
+		p = total
+	}
+	m.Phase("merge-path", func(proc *Proc) {
+		if proc.ID >= p || total == 0 {
+			return
+		}
+		lo := proc.ID * total / p
+		hi := (proc.ID + 1) * total / p
+		ai, bi := searchDiagonal(proc, a, b, lo)
+		for k := lo; k < hi; k++ {
+			switch {
+			case ai == a.Len():
+				proc.Write(out, k, proc.Read(b, bi))
+				bi++
+			case bi == b.Len():
+				proc.Write(out, k, proc.Read(a, ai))
+				ai++
+			default:
+				av, bv := proc.Read(a, ai), proc.Read(b, bi)
+				if av <= bv {
+					proc.Write(out, k, av)
+					ai++
+				} else {
+					proc.Write(out, k, bv)
+					bi++
+				}
+			}
+		}
+	})
+	return MergeResult{Out: out, Report: m.Report()}
+}
+
+// searchDiagonal is the Theorem 14 binary search executing through the
+// machine's instrumented reads.
+func searchDiagonal(proc *Proc, a, b *Array, k int) (int, int) {
+	lo := k - b.Len()
+	if lo < 0 {
+		lo = 0
+	}
+	hi := k
+	if hi > a.Len() {
+		hi = a.Len()
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if proc.Read(a, mid) <= proc.Read(b, k-mid-1) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, k - lo
+}
+
+// NaiveBlockMerge executes the §I strawman on the machine: processor i
+// merges equal chunks of a and b into the output region starting at the
+// sum of its chunk offsets. It is CREW-clean but produces wrong output —
+// included so tests can demonstrate that the machine audits concurrency,
+// not correctness, and that the two properties are independent.
+func NaiveBlockMerge(m *Machine, a, b *Array) MergeResult {
+	out := m.NewZeroArray(a.Len() + b.Len())
+	p := m.p
+	m.Phase("naive-block", func(proc *Proc) {
+		aLo, aHi := proc.ID*a.Len()/p, (proc.ID+1)*a.Len()/p
+		bLo, bHi := proc.ID*b.Len()/p, (proc.ID+1)*b.Len()/p
+		ai, bi, k := aLo, bLo, aLo+bLo
+		for ai < aHi || bi < bHi {
+			switch {
+			case ai == aHi:
+				proc.Write(out, k, proc.Read(b, bi))
+				bi++
+			case bi == bHi:
+				proc.Write(out, k, proc.Read(a, ai))
+				ai++
+			default:
+				av, bv := proc.Read(a, ai), proc.Read(b, bi)
+				if av <= bv {
+					proc.Write(out, k, av)
+					ai++
+				} else {
+					proc.Write(out, k, bv)
+					bi++
+				}
+			}
+			k++
+		}
+	})
+	return MergeResult{Out: out, Report: m.Report()}
+}
+
+// OverlappingWriteMerge is a deliberately broken "parallelization" in which
+// every processor merges the full inputs into the full output — the kind
+// of bug the CREW audit exists to catch. Used in tests only.
+func OverlappingWriteMerge(m *Machine, a, b *Array) MergeResult {
+	out := m.NewZeroArray(a.Len() + b.Len())
+	m.Phase("overlapping", func(proc *Proc) {
+		ai, bi := 0, 0
+		for k := 0; k < out.Len(); k++ {
+			switch {
+			case ai == a.Len():
+				proc.Write(out, k, proc.Read(b, bi))
+				bi++
+			case bi == b.Len():
+				proc.Write(out, k, proc.Read(a, ai))
+				ai++
+			default:
+				av, bv := proc.Read(a, ai), proc.Read(b, bi)
+				if av <= bv {
+					proc.Write(out, k, av)
+					ai++
+				} else {
+					proc.Write(out, k, bv)
+					bi++
+				}
+			}
+		}
+	})
+	return MergeResult{Out: out, Report: m.Report()}
+}
+
+// HierarchicalMerge executes the two-level merge on the machine: a first
+// phase of coarse partitioning reads (blocks-1 global diagonal searches,
+// done by the first blocks-1 processors), then one merge phase in which
+// each processor serves a (block, team-slot) pair with a local search —
+// auditing that the GPU-style decomposition is CREW end to end.
+func HierarchicalMerge(m *Machine, a, b *Array, blocks, team int) MergeResult {
+	if blocks < 1 || team < 1 {
+		panic("pram: blocks and team must be positive")
+	}
+	total := a.Len() + b.Len()
+	out := m.NewZeroArray(total)
+	if blocks > total && total > 0 {
+		blocks = total
+	}
+	coarseA := make([]int, blocks+1)
+	coarseB := make([]int, blocks+1)
+	coarseA[blocks], coarseB[blocks] = a.Len(), b.Len()
+	m.Phase("coarse-partition", func(proc *Proc) {
+		for i := proc.ID + 1; i < blocks; i += m.p {
+			ai, bi := searchDiagonal(proc, a, b, i*total/blocks)
+			coarseA[i], coarseB[i] = ai, bi
+		}
+	})
+	m.Phase("hierarchical-merge", func(proc *Proc) {
+		for idx := proc.ID; idx < blocks*team; idx += m.p {
+			blk, slot := idx/team, idx%team
+			mergeBlockSlot(proc, a, b, out,
+				coarseA[blk], coarseA[blk+1], coarseB[blk], coarseB[blk+1], slot, team)
+		}
+	})
+	return MergeResult{Out: out, Report: m.Report()}
+}
+
+// mergeBlockSlot merges team-slot `slot` of the block covering
+// a[aLo:aHi] and b[bLo:bHi]: a local diagonal search over the sub-ranges,
+// then the slot's merge steps, written to out at the block's offset.
+func mergeBlockSlot(proc *Proc, a, b, out *Array, aLo, aHi, bLo, bHi, slot, team int) {
+	na, nb := aHi-aLo, bHi-bLo
+	blockTotal := na + nb
+	lo := slot * blockTotal / team
+	hi := (slot + 1) * blockTotal / team
+
+	sLo := lo - nb
+	if sLo < 0 {
+		sLo = 0
+	}
+	sHi := lo
+	if sHi > na {
+		sHi = na
+	}
+	for sLo < sHi {
+		mid := int(uint(sLo+sHi) >> 1)
+		if proc.Read(a, aLo+mid) <= proc.Read(b, bLo+lo-mid-1) {
+			sLo = mid + 1
+		} else {
+			sHi = mid
+		}
+	}
+	ai, bi := sLo, lo-sLo
+	base := aLo + bLo
+	for k := lo; k < hi; k++ {
+		switch {
+		case ai == na:
+			proc.Write(out, base+k, proc.Read(b, bLo+bi))
+			bi++
+		case bi == nb:
+			proc.Write(out, base+k, proc.Read(a, aLo+ai))
+			ai++
+		default:
+			av, bv := proc.Read(a, aLo+ai), proc.Read(b, bLo+bi)
+			if av <= bv {
+				proc.Write(out, base+k, av)
+				ai++
+			} else {
+				proc.Write(out, base+k, bv)
+				bi++
+			}
+		}
+	}
+}

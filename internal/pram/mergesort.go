@@ -1,0 +1,163 @@
+package pram
+
+import "fmt"
+
+// This file runs the paper's §III parallel merge sort on the machine
+// model: one phase for the concurrent sequential chunk sorts, then one
+// phase per merge round. The audit extends experiment E10 from a single
+// merge to the full sort: every round must be CREW, and the per-round
+// load spread exposes how the paper's "all p workers on every merge"
+// property keeps the late rounds (the motivation in §I) balanced.
+
+// SortResult bundles the audited sort's output array and machine report.
+type SortResult struct {
+	Out    *Array
+	Report Report
+}
+
+// ParallelMergeSort sorts the contents of input (not mutated) with the
+// machine's p processors: p concurrent chunk sorts (bottom-up merge sort
+// within each chunk, all accesses audited), then log2(p) rounds of
+// pairwise merges, each merge parallelized over its share of processors
+// via diagonal searches — the structure of psort.Sort, executed under the
+// CREW audit.
+func ParallelMergeSort(m *Machine, input *Array) SortResult {
+	n := input.Len()
+	p := m.p
+	if p > n && n > 0 {
+		p = n
+	}
+	src := m.NewArray(input.Snapshot())
+	dst := m.NewZeroArray(n)
+	if n < 2 {
+		return SortResult{Out: src, Report: m.Report()}
+	}
+
+	// Phase 1: each processor sorts its chunk with an audited insertion
+	// sort (quadratic in the chunk, but every access is its own — the
+	// point is the audit, not speed).
+	runs := make([][2]int, p)
+	for i := 0; i < p; i++ {
+		runs[i] = [2]int{i * n / p, (i + 1) * n / p}
+	}
+	m.Phase("chunk-sort", func(proc *Proc) {
+		if proc.ID >= p {
+			return
+		}
+		lo, hi := runs[proc.ID][0], runs[proc.ID][1]
+		for i := lo + 1; i < hi; i++ {
+			v := proc.Read(src, i)
+			j := i
+			for j > lo {
+				w := proc.Read(src, j-1)
+				if w <= v {
+					break
+				}
+				proc.Write(src, j, w)
+				j--
+			}
+			proc.Write(src, j, v)
+		}
+	})
+
+	// Phase 2..: merge rounds, ping-ponging between src and dst.
+	round := 0
+	for len(runs) > 1 {
+		round++
+		pairs := len(runs) / 2
+		next := make([][2]int, 0, (len(runs)+1)/2)
+		perMerge := p / pairs
+		if perMerge < 1 {
+			perMerge = 1
+		}
+		for mi := 0; mi < pairs; mi++ {
+			next = append(next, [2]int{runs[2*mi][0], runs[2*mi+1][1]})
+		}
+		odd := len(runs)%2 == 1
+		if odd {
+			next = append(next, runs[len(runs)-1])
+		}
+		srcArr, dstArr := src, dst
+		runsCopy := runs
+		// The odd carried run is copied by the first processor with no
+		// merge assignment, or — when every processor is on a merge team —
+		// by the last processor in addition to its merge segment (the two
+		// write regions are disjoint, so CREW is preserved).
+		copier := pairs * perMerge
+		if copier > p-1 {
+			copier = p - 1
+		}
+		m.Phase(phaseName(round), func(proc *Proc) {
+			if odd && proc.ID == copier {
+				lo, hi := runsCopy[len(runsCopy)-1][0], runsCopy[len(runsCopy)-1][1]
+				for i := lo; i < hi; i++ {
+					proc.Write(dstArr, i, proc.Read(srcArr, i))
+				}
+			}
+			// Processor proc.ID serves merge proc.ID/perMerge as its
+			// (proc.ID%perMerge)-th team member.
+			mi := proc.ID / perMerge
+			slot := proc.ID % perMerge
+			if mi >= pairs {
+				return
+			}
+			r1, r2 := runsCopy[2*mi], runsCopy[2*mi+1]
+			mergeSegment(proc, srcArr, dstArr, r1[0], r1[1], r2[0], r2[1], slot, perMerge)
+		})
+		runs = next
+		src, dst = dst, src
+	}
+	return SortResult{Out: src, Report: m.Report()}
+}
+
+func phaseName(round int) string {
+	return fmt.Sprintf("merge-round-%d", round)
+}
+
+// mergeSegment is one team member's share of merging src[aLo:aHi] with
+// src[bLo:bHi] into dst starting at aLo (the runs are adjacent): diagonal
+// search for the member's start, then its merge steps.
+func mergeSegment(proc *Proc, src, dst *Array, aLo, aHi, bLo, bHi, slot, team int) {
+	na, nb := aHi-aLo, bHi-bLo
+	total := na + nb
+	lo := slot * total / team
+	hi := (slot + 1) * total / team
+
+	// Diagonal search over the sub-arrays, audited.
+	sLo := lo - nb
+	if sLo < 0 {
+		sLo = 0
+	}
+	sHi := lo
+	if sHi > na {
+		sHi = na
+	}
+	for sLo < sHi {
+		mid := int(uint(sLo+sHi) >> 1)
+		if proc.Read(src, aLo+mid) <= proc.Read(src, bLo+lo-mid-1) {
+			sLo = mid + 1
+		} else {
+			sHi = mid
+		}
+	}
+	ai, bi := sLo, lo-sLo
+	for k := lo; k < hi; k++ {
+		switch {
+		case ai == na:
+			proc.Write(dst, aLo+k, proc.Read(src, bLo+bi))
+			bi++
+		case bi == nb:
+			proc.Write(dst, aLo+k, proc.Read(src, aLo+ai))
+			ai++
+		default:
+			av, bv := proc.Read(src, aLo+ai), proc.Read(src, bLo+bi)
+			if av <= bv {
+				proc.Write(dst, aLo+k, av)
+				ai++
+			} else {
+				proc.Write(dst, aLo+k, bv)
+				bi++
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package pram
+
+import (
+	"math/rand"
+	"testing"
+
+	"mergepath/internal/verify"
+	"mergepath/internal/workload"
+)
+
+func TestParallelMergeSortCorrectAndCREW(t *testing.T) {
+	rng := rand.New(rand.NewSource(120))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(2000)
+		p := 1 + rng.Intn(8)
+		data := workload.Unsorted(rng, n)
+		m := NewMachine(p)
+		res := ParallelMergeSort(m, m.NewArray(data))
+		if !res.Report.CREW() {
+			t.Fatalf("n=%d p=%d: CREW violations: %v", n, p, res.Report.Violations[:min(3, len(res.Report.Violations))])
+		}
+		got := res.Out.Snapshot()
+		if !verify.Sorted(got) {
+			t.Fatalf("n=%d p=%d: not sorted", n, p)
+		}
+		if !verify.SameMultiset(got, data) {
+			t.Fatalf("n=%d p=%d: elements lost", n, p)
+		}
+	}
+}
+
+func TestParallelMergeSortPhases(t *testing.T) {
+	// With p processors the sort runs 1 chunk phase + ceil(log2 p) merge
+	// rounds.
+	data := workload.Unsorted(rand.New(rand.NewSource(121)), 1024)
+	for _, tc := range []struct{ p, rounds int }{
+		{1, 0}, {2, 1}, {4, 2}, {5, 3}, {8, 3},
+	} {
+		m := NewMachine(tc.p)
+		res := ParallelMergeSort(m, m.NewArray(data))
+		if got := len(res.Report.Phases); got != 1+tc.rounds {
+			t.Errorf("p=%d: %d phases, want %d", tc.p, got, 1+tc.rounds)
+		}
+	}
+}
+
+func TestParallelMergeSortDegenerate(t *testing.T) {
+	m := NewMachine(4)
+	var emptyVals []int32
+	res := ParallelMergeSort(m, m.NewArray(emptyVals))
+	if res.Out.Len() != 0 {
+		t.Fatal("empty sort misbehaved")
+	}
+	m2 := NewMachine(4)
+	res2 := ParallelMergeSort(m2, m2.NewArray([]int32{7}))
+	if got := res2.Out.Snapshot(); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("single element: %v", got)
+	}
+}
+
+func TestParallelMergeSortDoesNotMutateInput(t *testing.T) {
+	m := NewMachine(2)
+	in := m.NewArray([]int32{3, 1, 2})
+	before := in.Snapshot()
+	ParallelMergeSort(m, in)
+	after := in.Snapshot()
+	// The machine copies input into a working array; the caller's array
+	// object handed in must keep its contents.
+	if !verify.Equal(before, after) {
+		t.Fatalf("input mutated: %v -> %v", before, after)
+	}
+}
+
+func TestParallelMergeSortRoundBalance(t *testing.T) {
+	// The §I motivation: in the late rounds few merges remain, but every
+	// processor still works. Check the last round's per-processor write
+	// counts are all nonzero and within 2x of each other.
+	data := workload.Unsorted(rand.New(rand.NewSource(122)), 4096)
+	p := 8
+	m := NewMachine(p)
+	res := ParallelMergeSort(m, m.NewArray(data))
+	last := res.Report.Phases[len(res.Report.Phases)-1]
+	minW, maxW := last.Writes[0], last.Writes[0]
+	for _, w := range last.Writes {
+		if w < minW {
+			minW = w
+		}
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if minW == 0 {
+		t.Fatalf("a processor idled in the final round: %v", last.Writes)
+	}
+	if maxW > 2*minW {
+		t.Fatalf("final-round imbalance: %v", last.Writes)
+	}
+}

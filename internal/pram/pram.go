@@ -1,0 +1,233 @@
+// Package pram is a phase-synchronous CREW-PRAM machine model used to
+// *check* the paper's concurrency claims rather than to run fast. The
+// paper asserts (§III Remark) that Merge Path workers write to disjoint
+// addresses, read from mostly disjoint addresses, and need no
+// synchronization beyond the final barrier — i.e. the algorithm is CREW:
+// concurrent reads allowed, exclusive writes required.
+//
+// A Machine executes algorithms as a sequence of phases (the intervals
+// between barriers). Within a phase every processor's reads and writes are
+// recorded; at the phase boundary the machine checks, for every address:
+//
+//   - written by two or more processors  -> concurrent-write violation
+//     (would need CRCW);
+//   - written by one and read by another -> read/write race (the value
+//     read would depend on scheduling; also not CREW-safe within a phase);
+//   - read by several processors         -> allowed, but counted, because
+//     the paper claims such reads are rare (experiment E10 measures the
+//     fraction).
+//
+// Per-processor operation counts double as the work-accounting used by the
+// load-balance (E4) and work-complexity (E11) experiments.
+package pram
+
+import "fmt"
+
+// Violation describes one CREW breach detected at a phase boundary.
+type Violation struct {
+	Phase string
+	Addr  uint64
+	Kind  string // "concurrent-write" or "read-write-race"
+	Procs []int
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s at addr %d in phase %q by procs %v", v.Kind, v.Addr, v.Phase, v.Procs)
+}
+
+// PhaseReport summarizes one phase.
+type PhaseReport struct {
+	Name            string
+	Reads           []int // per processor
+	Writes          []int
+	ConcurrentReads int // addresses read by more than one processor
+	UniqueReads     int // distinct addresses read
+}
+
+// Report is a machine's full execution record.
+type Report struct {
+	Processors int
+	Phases     []PhaseReport
+	Violations []Violation
+}
+
+// CREW reports whether the execution satisfied the CREW discipline.
+func (r Report) CREW() bool { return len(r.Violations) == 0 }
+
+// TotalOps returns the summed read+write counts of one processor across
+// all phases.
+func (r Report) TotalOps(proc int) int {
+	total := 0
+	for _, ph := range r.Phases {
+		total += ph.Reads[proc] + ph.Writes[proc]
+	}
+	return total
+}
+
+// MaxOps and MinOps report the extreme per-processor operation counts, the
+// load-balance measurement of experiment E4.
+func (r Report) MaxOps() int {
+	maxOps := 0
+	for p := 0; p < r.Processors; p++ {
+		if ops := r.TotalOps(p); ops > maxOps {
+			maxOps = ops
+		}
+	}
+	return maxOps
+}
+
+func (r Report) MinOps() int {
+	if r.Processors == 0 {
+		return 0
+	}
+	minOps := r.TotalOps(0)
+	for p := 1; p < r.Processors; p++ {
+		if ops := r.TotalOps(p); ops < minOps {
+			minOps = ops
+		}
+	}
+	return minOps
+}
+
+// ConcurrentReadFraction returns the share of distinct read addresses that
+// were read by more than one processor, aggregated over phases.
+func (r Report) ConcurrentReadFraction() float64 {
+	concurrent, unique := 0, 0
+	for _, ph := range r.Phases {
+		concurrent += ph.ConcurrentReads
+		unique += ph.UniqueReads
+	}
+	if unique == 0 {
+		return 0
+	}
+	return float64(concurrent) / float64(unique)
+}
+
+// Machine is the phase-synchronous model. Create with NewMachine, allocate
+// shared arrays, then call Phase for every barrier-delimited step of the
+// algorithm under test.
+type Machine struct {
+	p      int
+	next   uint64
+	report Report
+}
+
+// NewMachine returns a machine with p processors.
+func NewMachine(p int) *Machine {
+	if p < 1 {
+		panic("pram: need at least one processor")
+	}
+	return &Machine{p: p, next: 1, report: Report{Processors: p}}
+}
+
+// Processors returns p.
+func (m *Machine) Processors() int { return m.p }
+
+// Report returns the execution record so far.
+func (m *Machine) Report() Report { return m.report }
+
+// Array is a shared-memory array of int32 cells with machine-wide unique
+// addresses.
+type Array struct {
+	m    *Machine
+	base uint64
+	data []int32
+}
+
+// NewArray allocates a shared array initialized with vals (copied).
+func (m *Machine) NewArray(vals []int32) *Array {
+	a := &Array{m: m, base: m.next, data: append([]int32(nil), vals...)}
+	m.next += uint64(len(vals))
+	return a
+}
+
+// NewZeroArray allocates a zeroed shared array of length n.
+func (m *Machine) NewZeroArray(n int) *Array {
+	a := &Array{m: m, base: m.next, data: make([]int32, n)}
+	m.next += uint64(n)
+	return a
+}
+
+// Len returns the array length. Snapshot returns a copy of the contents.
+func (a *Array) Len() int          { return len(a.data) }
+func (a *Array) Snapshot() []int32 { return append([]int32(nil), a.data...) }
+
+// Proc is one processor's handle within a phase.
+type Proc struct {
+	ID     int
+	reads  map[uint64]struct{}
+	writes map[uint64]struct{}
+	nReads int
+	nWrite int
+}
+
+// Read returns element i of arr, recording the access.
+func (p *Proc) Read(arr *Array, i int) int32 {
+	p.nReads++
+	p.reads[arr.base+uint64(i)] = struct{}{}
+	return arr.data[i]
+}
+
+// Write stores v into element i of arr, recording the access.
+func (p *Proc) Write(arr *Array, i int, v int32) {
+	p.nWrite++
+	p.writes[arr.base+uint64(i)] = struct{}{}
+	arr.data[i] = v
+}
+
+// Phase executes body for each processor (sequentially, in processor
+// order — the model checks what a parallel schedule would be allowed to
+// do, it does not need real concurrency), then performs the CREW audit.
+func (m *Machine) Phase(name string, body func(proc *Proc)) {
+	procs := make([]*Proc, m.p)
+	for i := range procs {
+		procs[i] = &Proc{
+			ID:     i,
+			reads:  make(map[uint64]struct{}),
+			writes: make(map[uint64]struct{}),
+		}
+		body(procs[i])
+	}
+
+	ph := PhaseReport{
+		Name:   name,
+		Reads:  make([]int, m.p),
+		Writes: make([]int, m.p),
+	}
+	writers := make(map[uint64][]int)
+	readers := make(map[uint64][]int)
+	for _, proc := range procs {
+		ph.Reads[proc.ID] = proc.nReads
+		ph.Writes[proc.ID] = proc.nWrite
+		for addr := range proc.writes {
+			writers[addr] = append(writers[addr], proc.ID)
+		}
+		for addr := range proc.reads {
+			readers[addr] = append(readers[addr], proc.ID)
+		}
+	}
+	for addr, ws := range writers {
+		if len(ws) > 1 {
+			m.report.Violations = append(m.report.Violations, Violation{
+				Phase: name, Addr: addr, Kind: "concurrent-write", Procs: ws,
+			})
+		}
+		if rs, ok := readers[addr]; ok {
+			for _, r := range rs {
+				if len(ws) != 1 || ws[0] != r {
+					m.report.Violations = append(m.report.Violations, Violation{
+						Phase: name, Addr: addr, Kind: "read-write-race", Procs: append(append([]int{}, ws...), r),
+					})
+					break
+				}
+			}
+		}
+	}
+	ph.UniqueReads = len(readers)
+	for _, rs := range readers {
+		if len(rs) > 1 {
+			ph.ConcurrentReads++
+		}
+	}
+	m.report.Phases = append(m.report.Phases, ph)
+}

@@ -1,0 +1,260 @@
+package pram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mergepath/internal/verify"
+	"mergepath/internal/workload"
+)
+
+func TestNewMachinePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMachine(0)
+}
+
+func TestPhaseRecordsCounts(t *testing.T) {
+	m := NewMachine(2)
+	arr := m.NewArray([]int32{10, 20})
+	out := m.NewZeroArray(2)
+	m.Phase("copy", func(p *Proc) {
+		p.Write(out, p.ID, p.Read(arr, p.ID))
+	})
+	r := m.Report()
+	if !r.CREW() {
+		t.Fatalf("disjoint copy flagged: %v", r.Violations)
+	}
+	ph := r.Phases[0]
+	if ph.Reads[0] != 1 || ph.Writes[0] != 1 || ph.Reads[1] != 1 || ph.Writes[1] != 1 {
+		t.Fatalf("counts %+v", ph)
+	}
+	if ph.ConcurrentReads != 0 || ph.UniqueReads != 2 {
+		t.Fatalf("read accounting %+v", ph)
+	}
+	if got := out.Snapshot(); got[0] != 10 || got[1] != 20 {
+		t.Fatalf("data %v", got)
+	}
+}
+
+func TestConcurrentWriteDetected(t *testing.T) {
+	m := NewMachine(3)
+	out := m.NewZeroArray(1)
+	m.Phase("collide", func(p *Proc) {
+		p.Write(out, 0, int32(p.ID))
+	})
+	r := m.Report()
+	if r.CREW() {
+		t.Fatal("concurrent write not detected")
+	}
+	if r.Violations[0].Kind != "concurrent-write" || len(r.Violations[0].Procs) != 3 {
+		t.Fatalf("violation %+v", r.Violations[0])
+	}
+	if r.Violations[0].String() == "" {
+		t.Fatal("empty violation string")
+	}
+}
+
+func TestReadWriteRaceDetected(t *testing.T) {
+	m := NewMachine(2)
+	cell := m.NewZeroArray(1)
+	m.Phase("race", func(p *Proc) {
+		if p.ID == 0 {
+			p.Write(cell, 0, 42)
+		} else {
+			p.Read(cell, 0)
+		}
+	})
+	r := m.Report()
+	if r.CREW() {
+		t.Fatal("read-write race not detected")
+	}
+	if r.Violations[0].Kind != "read-write-race" {
+		t.Fatalf("violation %+v", r.Violations[0])
+	}
+}
+
+func TestOwnReadWriteAllowed(t *testing.T) {
+	// A processor may read and write the same address within a phase.
+	m := NewMachine(2)
+	arr := m.NewArray([]int32{1, 2})
+	m.Phase("rmw", func(p *Proc) {
+		p.Write(arr, p.ID, p.Read(arr, p.ID)+1)
+	})
+	if r := m.Report(); !r.CREW() {
+		t.Fatalf("own-cell RMW flagged: %v", r.Violations)
+	}
+}
+
+func TestConcurrentReadsCountedNotFlagged(t *testing.T) {
+	m := NewMachine(4)
+	arr := m.NewArray([]int32{7})
+	m.Phase("broadcast", func(p *Proc) {
+		p.Read(arr, 0)
+	})
+	r := m.Report()
+	if !r.CREW() {
+		t.Fatal("concurrent read must be legal on CREW")
+	}
+	if r.Phases[0].ConcurrentReads != 1 {
+		t.Fatalf("concurrent reads %d", r.Phases[0].ConcurrentReads)
+	}
+}
+
+func TestParallelMergeCREWAndCorrect(t *testing.T) {
+	// Experiment E10 in miniature: Algorithm 1 is CREW for every workload
+	// and processor count tried.
+	rng := rand.New(rand.NewSource(90))
+	for _, kind := range workload.Kinds() {
+		for _, p := range []int{1, 2, 3, 8} {
+			na, nb := 100+rng.Intn(300), 100+rng.Intn(300)
+			av, bv := workload.Pair(kind, na, nb, 5)
+			m := NewMachine(p)
+			a, b := m.NewArray(av), m.NewArray(bv)
+			res := ParallelMerge(m, a, b)
+			if !res.Report.CREW() {
+				t.Fatalf("kind=%v p=%d: CREW violations: %v", kind, p, res.Report.Violations)
+			}
+			if got := res.Out.Snapshot(); !verify.Equal(got, verify.ReferenceMerge(av, bv)) {
+				t.Fatalf("kind=%v p=%d: wrong merge", kind, p)
+			}
+		}
+	}
+}
+
+func TestParallelMergeLoadBalance(t *testing.T) {
+	// Corollary 7 audited: per-processor ops differ only by the rounding of
+	// segment lengths plus the log-size search disparity.
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 20; trial++ {
+		na, nb := 500+rng.Intn(2000), 500+rng.Intn(2000)
+		p := 2 + rng.Intn(8)
+		av := workload.SortedUniform32(rng, na)
+		bv := workload.SortedUniform32(rng, nb)
+		m := NewMachine(p)
+		res := ParallelMerge(m, m.NewArray(av), m.NewArray(bv))
+		spread := res.Report.MaxOps() - res.Report.MinOps()
+		// Each merge step costs 2-3 ops; segments differ by <=1 step; the
+		// search adds <= 2*(log2(min)+1) ops; slack for the boundary cases.
+		allowance := 3 + 2*(int(math.Log2(float64(min(na, nb))))+2)
+		if spread > allowance {
+			t.Fatalf("p=%d: op spread %d exceeds allowance %d (max=%d min=%d)",
+				p, spread, allowance, res.Report.MaxOps(), res.Report.MinOps())
+		}
+	}
+}
+
+func TestWorkComplexityBound(t *testing.T) {
+	// Experiment E11: total operations are O(N + p*logN) with small
+	// constants: <= 3 ops per merge step + 2(log2(min)+1) per processor.
+	rng := rand.New(rand.NewSource(92))
+	for _, p := range []int{2, 4, 16} {
+		na, nb := 4000, 6000
+		av := workload.SortedUniform32(rng, na)
+		bv := workload.SortedUniform32(rng, nb)
+		m := NewMachine(p)
+		res := ParallelMerge(m, m.NewArray(av), m.NewArray(bv))
+		total := 0
+		for proc := 0; proc < p; proc++ {
+			total += res.Report.TotalOps(proc)
+		}
+		n := na + nb
+		bound := 3*n + p*2*(int(math.Log2(float64(min(na, nb))))+1)
+		if total > bound {
+			t.Fatalf("p=%d: total ops %d exceed bound %d", p, total, bound)
+		}
+	}
+}
+
+func TestConcurrentReadsRare(t *testing.T) {
+	// The §III Remark: with N >> p, concurrent reads (which only occur
+	// during the diagonal searches) are a vanishing fraction.
+	rng := rand.New(rand.NewSource(93))
+	av := workload.SortedUniform32(rng, 20000)
+	bv := workload.SortedUniform32(rng, 20000)
+	m := NewMachine(8)
+	res := ParallelMerge(m, m.NewArray(av), m.NewArray(bv))
+	if frac := res.Report.ConcurrentReadFraction(); frac > 0.01 {
+		t.Fatalf("concurrent read fraction %.4f, expected rare (<1%%)", frac)
+	}
+}
+
+func TestNaiveBlockMergeCREWButWrong(t *testing.T) {
+	av, bv := workload.Pair(workload.AllAGreater, 64, 64, 2)
+	m := NewMachine(4)
+	res := NaiveBlockMerge(m, m.NewArray(av), m.NewArray(bv))
+	if !res.Report.CREW() {
+		t.Fatal("naive block merge is write-disjoint; must pass the CREW audit")
+	}
+	if verify.Sorted(res.Out.Snapshot()) {
+		t.Fatal("naive block merge should produce unsorted output here")
+	}
+}
+
+func TestOverlappingWriteMergeFlagged(t *testing.T) {
+	av, bv := workload.Pair(workload.Uniform, 32, 32, 3)
+	m := NewMachine(2)
+	res := OverlappingWriteMerge(m, m.NewArray(av), m.NewArray(bv))
+	if res.Report.CREW() {
+		t.Fatal("overlapping writes must be flagged")
+	}
+}
+
+func TestParallelMergeDegenerate(t *testing.T) {
+	m := NewMachine(4)
+	var emptyVals []int32
+	a := m.NewArray(emptyVals)
+	b := m.NewArray([]int32{1, 2})
+	res := ParallelMerge(m, a, b)
+	if got := res.Out.Snapshot(); len(got) != 2 || got[0] != 1 {
+		t.Fatalf("degenerate merge %v", got)
+	}
+	// Both empty.
+	m2 := NewMachine(2)
+	res2 := ParallelMerge(m2, m2.NewArray(emptyVals), m2.NewArray(emptyVals))
+	if res2.Out.Len() != 0 || !res2.Report.CREW() {
+		t.Fatal("empty merge misbehaved")
+	}
+}
+
+func TestReportAggregates(t *testing.T) {
+	var r Report
+	if r.MaxOps() != 0 || r.MinOps() != 0 || r.ConcurrentReadFraction() != 0 {
+		t.Fatal("zero-value report aggregates")
+	}
+}
+
+func TestHierarchicalMergeCREWAndCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	for trial := 0; trial < 20; trial++ {
+		na, nb := rng.Intn(800), rng.Intn(800)
+		blocks := 1 + rng.Intn(5)
+		team := 1 + rng.Intn(4)
+		p := 1 + rng.Intn(8)
+		av := workload.SortedUniform32(rng, na)
+		bv := workload.SortedUniform32(rng, nb)
+		m := NewMachine(p)
+		res := HierarchicalMerge(m, m.NewArray(av), m.NewArray(bv), blocks, team)
+		if !res.Report.CREW() {
+			t.Fatalf("blocks=%d team=%d p=%d: violations %v", blocks, team, p,
+				res.Report.Violations[:min(2, len(res.Report.Violations))])
+		}
+		if got := res.Out.Snapshot(); !verify.Equal(got, verify.ReferenceMerge(av, bv)) {
+			t.Fatalf("blocks=%d team=%d p=%d: wrong merge", blocks, team, p)
+		}
+	}
+}
+
+func TestHierarchicalMergePanics(t *testing.T) {
+	m := NewMachine(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	HierarchicalMerge(m, m.NewArray([]int32{1}), m.NewArray([]int32{2}), 0, 1)
+}

@@ -1,0 +1,136 @@
+package pram
+
+// This file runs the paper's Algorithm 2 (Segmented Parallel Merge) on the
+// machine model. Each iteration of the algorithm becomes two audited
+// phases — the sequential fetch into the cyclic staging buffers, then the
+// parallel in-window merge — so the CREW discipline of the segmented
+// variant is certified exactly like Algorithm 1's (experiment E10).
+
+// SegmentedParallelMerge merges shared arrays a and b through staging
+// buffers of window elements, using the machine's processors inside each
+// window. Returns the output array and the audit report.
+func SegmentedParallelMerge(m *Machine, a, b *Array, window int) MergeResult {
+	if window < 1 {
+		panic("pram: window must be positive")
+	}
+	total := a.Len() + b.Len()
+	out := m.NewZeroArray(total)
+	bufA := m.NewZeroArray(window)
+	bufB := m.NewZeroArray(window)
+
+	headA, headB, nA, nB := 0, 0, 0, 0 // cyclic buffer state
+	remA, remB := 0, 0                 // next unfetched input index
+	done := 0
+	win := 0
+	for done < total {
+		win++
+		// Fetch phase: processor 0 tops both buffers up (step 1 of
+		// Algorithm 2 is sequential in the paper).
+		m.Phase(phaseLabel("fetch", win), func(proc *Proc) {
+			if proc.ID != 0 {
+				return
+			}
+			for nA < window && remA < a.Len() {
+				v := proc.Read(a, remA)
+				proc.Write(bufA, (headA+nA)%window, v)
+				remA++
+				nA++
+			}
+			for nB < window && remB < b.Len() {
+				v := proc.Read(b, remB)
+				proc.Write(bufB, (headB+nB)%window, v)
+				remB++
+				nB++
+			}
+		})
+
+		steps := window
+		if avail := nA + nB; steps > avail {
+			steps = avail
+		}
+		// Merge phase: each processor finds its in-window start point on
+		// the staged elements and merges its share into the output.
+		base := done
+		hA, hB, cntA, cntB := headA, headB, nA, nB
+		p := m.p
+		if p > steps {
+			p = steps
+		}
+		var endA int
+		m.Phase(phaseLabel("merge", win), func(proc *Proc) {
+			if proc.ID >= p {
+				return
+			}
+			atA := func(proc *Proc, i int) int32 { return proc.Read(bufA, (hA+i)%window) }
+			atB := func(proc *Proc, i int) int32 { return proc.Read(bufB, (hB+i)%window) }
+			lo := proc.ID * steps / p
+			hi := (proc.ID + 1) * steps / p
+			// Diagonal search over the staged views.
+			sLo := lo - cntB
+			if sLo < 0 {
+				sLo = 0
+			}
+			sHi := lo
+			if sHi > cntA {
+				sHi = cntA
+			}
+			for sLo < sHi {
+				mid := int(uint(sLo+sHi) >> 1)
+				if atA(proc, mid) <= atB(proc, lo-mid-1) {
+					sLo = mid + 1
+				} else {
+					sHi = mid
+				}
+			}
+			ai, bi := sLo, lo-sLo
+			for k := lo; k < hi; k++ {
+				switch {
+				case ai == cntA:
+					proc.Write(out, base+k, atB(proc, bi))
+					bi++
+				case bi == cntB:
+					proc.Write(out, base+k, atA(proc, ai))
+					ai++
+				default:
+					av, bv := atA(proc, ai), atB(proc, bi)
+					if av <= bv {
+						proc.Write(out, base+k, av)
+						ai++
+					} else {
+						proc.Write(out, base+k, bv)
+						bi++
+					}
+				}
+			}
+			if proc.ID == p-1 {
+				endA = ai // the window's total consumption from a
+			}
+		})
+		usedA := endA
+		usedB := steps - usedA
+		headA = (headA + usedA) % window
+		headB = (headB + usedB) % window
+		nA -= usedA
+		nB -= usedB
+		done += steps
+	}
+	return MergeResult{Out: out, Report: m.Report()}
+}
+
+func phaseLabel(kind string, win int) string {
+	return kind + "-" + itoa(win)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,64 @@
+package pram
+
+import (
+	"math/rand"
+	"testing"
+
+	"mergepath/internal/verify"
+	"mergepath/internal/workload"
+)
+
+func TestSegmentedParallelMergeCorrectAndCREW(t *testing.T) {
+	rng := rand.New(rand.NewSource(160))
+	for trial := 0; trial < 30; trial++ {
+		kind := workload.Kinds()[trial%len(workload.Kinds())]
+		na, nb := rng.Intn(400), rng.Intn(400)
+		window := 1 + rng.Intn(48)
+		p := 1 + rng.Intn(6)
+		av, bv := workload.Pair(kind, na, nb, int64(trial))
+		m := NewMachine(p)
+		res := SegmentedParallelMerge(m, m.NewArray(av), m.NewArray(bv), window)
+		if !res.Report.CREW() {
+			t.Fatalf("kind=%v L=%d p=%d: violations %v", kind, window, p,
+				res.Report.Violations[:min(3, len(res.Report.Violations))])
+		}
+		if got := res.Out.Snapshot(); !verify.Equal(got, verify.ReferenceMerge(av, bv)) {
+			t.Fatalf("kind=%v L=%d p=%d: wrong merge", kind, window, p)
+		}
+	}
+}
+
+func TestSegmentedParallelMergePhaseStructure(t *testing.T) {
+	av, bv := workload.Pair(workload.Uniform, 100, 100, 1)
+	m := NewMachine(2)
+	res := SegmentedParallelMerge(m, m.NewArray(av), m.NewArray(bv), 50)
+	// 200 outputs at window 50: 4 windows = 8 phases (fetch+merge each).
+	if got := len(res.Report.Phases); got != 8 {
+		t.Fatalf("phases: %d, want 8", got)
+	}
+	if res.Report.Phases[0].Name != "fetch-1" || res.Report.Phases[1].Name != "merge-1" {
+		t.Fatalf("phase names: %s, %s", res.Report.Phases[0].Name, res.Report.Phases[1].Name)
+	}
+	// The fetch phase is sequential: only processor 0 works.
+	if res.Report.Phases[0].Reads[1] != 0 {
+		t.Fatal("processor 1 worked during a fetch phase")
+	}
+}
+
+func TestSegmentedParallelMergePanics(t *testing.T) {
+	m := NewMachine(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SegmentedParallelMerge(m, m.NewArray([]int32{1}), m.NewArray([]int32{2}), 0)
+}
+
+func TestItoa(t *testing.T) {
+	for v, want := range map[int]string{0: "0", 7: "7", 42: "42", 1234: "1234"} {
+		if got := itoa(v); got != want {
+			t.Errorf("itoa(%d) = %q", v, got)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package psort
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mergepath/internal/workload"
+)
+
+func BenchmarkSortWorkers(b *testing.B) {
+	const n = 1 << 20
+	data := workload.Unsorted(rand.New(rand.NewSource(1)), n)
+	scratch := make([]int32, n)
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			b.SetBytes(int64(n) * 4)
+			for i := 0; i < b.N; i++ {
+				copy(scratch, data)
+				Sort(scratch, p)
+			}
+		})
+	}
+}
+
+func BenchmarkSeqSortKernel(b *testing.B) {
+	const n = 1 << 18
+	data := workload.Unsorted(rand.New(rand.NewSource(2)), n)
+	work := make([]int32, n)
+	scratch := make([]int32, n)
+	b.SetBytes(int64(n) * 4)
+	for i := 0; i < b.N; i++ {
+		copy(work, data)
+		seqSort(work, scratch)
+	}
+}
+
+func BenchmarkCacheEfficientSortWindow(b *testing.B) {
+	const n = 1 << 20
+	data := workload.Unsorted(rand.New(rand.NewSource(3)), n)
+	scratch := make([]int32, n)
+	for _, cacheKB := range []int{32, 256, 2048} {
+		b.Run(fmt.Sprintf("cache=%dKB", cacheKB), func(b *testing.B) {
+			b.SetBytes(int64(n) * 4)
+			for i := 0; i < b.N; i++ {
+				copy(scratch, data)
+				CacheEfficientSort(scratch, cacheKB<<10/4, 4)
+			}
+		})
+	}
+}
+
+func BenchmarkSortDataflowVsRounds(b *testing.B) {
+	const n = 1 << 20
+	data := workload.Unsorted(rand.New(rand.NewSource(4)), n)
+	scratch := make([]int32, n)
+	for _, p := range []int{4, 8} {
+		b.Run(fmt.Sprintf("rounds/p=%d", p), func(b *testing.B) {
+			b.SetBytes(int64(n) * 4)
+			for i := 0; i < b.N; i++ {
+				copy(scratch, data)
+				Sort(scratch, p)
+			}
+		})
+		b.Run(fmt.Sprintf("dataflow/p=%d", p), func(b *testing.B) {
+			b.SetBytes(int64(n) * 4)
+			for i := 0; i < b.N; i++ {
+				copy(scratch, data)
+				SortDataflow(scratch, p, 0)
+			}
+		})
+	}
+}

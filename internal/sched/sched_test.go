@@ -1,0 +1,121 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestLinearChainRunsInOrder(t *testing.T) {
+	var g Graph
+	var order []int
+	var prev *Task
+	for i := 0; i < 10; i++ {
+		i := i
+		if prev == nil {
+			prev = g.Add(func() { order = append(order, i) })
+		} else {
+			prev = g.Add(func() { order = append(order, i) }, prev)
+		}
+	}
+	g.Run(4) // chain forces sequential execution; appends are safe
+	if len(order) != 10 {
+		t.Fatalf("ran %d tasks", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order %v", order)
+		}
+	}
+}
+
+func TestDiamondDependencies(t *testing.T) {
+	var g Graph
+	var state atomic.Int32
+	a := g.Add(func() { state.Add(1) })
+	b := g.Add(func() {
+		if state.Load() < 1 {
+			t.Error("b ran before a")
+		}
+		state.Add(10)
+	}, a)
+	c := g.Add(func() {
+		if state.Load() < 1 {
+			t.Error("c ran before a")
+		}
+		state.Add(100)
+	}, a)
+	g.Add(func() {
+		if got := state.Load(); got != 111 {
+			t.Errorf("d ran before b and c: state %d", got)
+		}
+	}, b, c)
+	g.Run(3)
+}
+
+func TestAllTasksRunExactlyOnce(t *testing.T) {
+	var g Graph
+	var count atomic.Int64
+	var layer []*Task
+	for i := 0; i < 50; i++ {
+		layer = append(layer, g.Add(func() { count.Add(1) }))
+	}
+	for len(layer) > 1 {
+		var next []*Task
+		for i := 0; i+1 < len(layer); i += 2 {
+			next = append(next, g.Add(func() { count.Add(1) }, layer[i], layer[i+1]))
+		}
+		if len(layer)%2 == 1 {
+			next = append(next, layer[len(layer)-1])
+		}
+		layer = next
+	}
+	total := g.Len()
+	g.Run(8)
+	if int(count.Load()) != total {
+		t.Fatalf("ran %d of %d tasks", count.Load(), total)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	var g Graph
+	g.Run(2) // no-op
+}
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"nil-body": func() { var g Graph; g.Add(nil) },
+		"nil-dep":  func() { var g Graph; g.Add(func() {}, nil) },
+		"w0":       func() { var g Graph; g.Add(func() {}); g.Run(0) },
+		"cycle": func() {
+			var g Graph
+			a := g.Add(func() {})
+			b := g.Add(func() {}, a)
+			// Illegal back-edge: forge a cycle by appending by hand.
+			b.succs = append(b.succs, a)
+			a.pending++
+			g.Run(2)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHighFanout(t *testing.T) {
+	var g Graph
+	var count atomic.Int64
+	root := g.Add(func() { count.Add(1) })
+	for i := 0; i < 500; i++ {
+		g.Add(func() { count.Add(1) }, root)
+	}
+	g.Run(16)
+	if count.Load() != 501 {
+		t.Fatalf("ran %d", count.Load())
+	}
+}

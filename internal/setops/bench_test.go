@@ -1,0 +1,59 @@
+package setops
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mergepath/internal/workload"
+)
+
+func benchLists(n int) (a, b []int32) {
+	rng := rand.New(rand.NewSource(1))
+	// Zipf-skewed document frequencies: the realistic postings shape.
+	return workload.SortedZipf(rng, n, n/4), workload.SortedZipf(rng, n, n/4)
+}
+
+func BenchmarkSetOps(b *testing.B) {
+	const n = 1 << 20
+	x, y := benchLists(n)
+	for _, p := range []int{1, 4} {
+		b.Run(fmt.Sprintf("union/p=%d", p), func(b *testing.B) {
+			b.SetBytes(int64(2*n) * 4)
+			for i := 0; i < b.N; i++ {
+				Union(x, y, p)
+			}
+		})
+		b.Run(fmt.Sprintf("intersect/p=%d", p), func(b *testing.B) {
+			b.SetBytes(int64(2*n) * 4)
+			for i := 0; i < b.N; i++ {
+				Intersect(x, y, p)
+			}
+		})
+		b.Run(fmt.Sprintf("diff/p=%d", p), func(b *testing.B) {
+			b.SetBytes(int64(2*n) * 4)
+			for i := 0; i < b.N; i++ {
+				Diff(x, y, p)
+			}
+		})
+	}
+}
+
+func TestSetOpsOnZipf(t *testing.T) {
+	// The Zipf workload stresses very long equal runs; validate against
+	// the references under forced cuts.
+	rng := rand.New(rand.NewSource(2))
+	a := workload.SortedZipf(rng, 5000, 100)
+	b := workload.SortedZipf(rng, 4000, 100)
+	for _, p := range []int{3, 9, 17} {
+		if got, want := forceParallel(a, b, p, unionWalk[int32]), refUnion(a, b); !equal(got, want) {
+			t.Fatalf("union p=%d on zipf: mismatch", p)
+		}
+		if got, want := forceParallel(a, b, p, intersectWalk[int32]), refIntersect(a, b); !equal(got, want) {
+			t.Fatalf("intersect p=%d on zipf: mismatch", p)
+		}
+		if got, want := forceParallel(a, b, p, diffWalk[int32]), refDiff(a, b); !equal(got, want) {
+			t.Fatalf("diff p=%d on zipf: mismatch", p)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package spm
+
+import (
+	"fmt"
+	"testing"
+
+	"mergepath/internal/workload"
+)
+
+func BenchmarkMergeWindows(b *testing.B) {
+	const n = 1 << 20
+	x, y := workload.Pair(workload.Uniform, n, n, 1)
+	out := make([]int32, 2*n)
+	for _, window := range []int{512, 2048, 8192, 32768} {
+		for _, p := range []int{1, 4} {
+			b.Run(fmt.Sprintf("L=%d/p=%d", window, p), func(b *testing.B) {
+				b.SetBytes(int64(2*n) * 4)
+				for i := 0; i < b.N; i++ {
+					Merge(x, y, out, Config{Window: window, Workers: p})
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkMergeFuncOverhead(b *testing.B) {
+	// The price of the comparison-function indirection vs the Ordered path.
+	const n = 1 << 19
+	x, y := workload.Pair(workload.Uniform, n, n, 2)
+	out := make([]int32, 2*n)
+	cfg := Config{Window: 4096, Workers: 1}
+	b.Run("ordered", func(b *testing.B) {
+		b.SetBytes(int64(2*n) * 4)
+		for i := 0; i < b.N; i++ {
+			Merge(x, y, out, cfg)
+		}
+	})
+	b.Run("func", func(b *testing.B) {
+		b.SetBytes(int64(2*n) * 4)
+		less := func(a, c int32) bool { return a < c }
+		for i := 0; i < b.N; i++ {
+			MergeFunc(x, y, out, cfg, less)
+		}
+	})
+}

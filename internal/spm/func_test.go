@@ -1,0 +1,76 @@
+package spm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mergepath/internal/verify"
+	"mergepath/internal/workload"
+)
+
+func TestMergeFuncAgreesWithOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(140))
+	less := func(x, y int32) bool { return x < y }
+	for trial := 0; trial < 60; trial++ {
+		kind := workload.Kinds()[trial%len(workload.Kinds())]
+		na, nb := rng.Intn(500), rng.Intn(500)
+		a, b := workload.Pair(kind, na, nb, int64(trial))
+		cfg := Config{Window: 1 + rng.Intn(64), Workers: 1 + rng.Intn(5)}
+		o1 := make([]int32, na+nb)
+		o2 := make([]int32, na+nb)
+		s1 := Merge(a, b, o1, cfg)
+		s2 := MergeFunc(a, b, o2, cfg, less)
+		if !verify.Equal(o1, o2) {
+			t.Fatalf("kind=%v cfg=%+v: outputs differ", kind, cfg)
+		}
+		if s1 != s2 {
+			t.Fatalf("kind=%v cfg=%+v: stats differ: %+v vs %+v", kind, cfg, s1, s2)
+		}
+	}
+}
+
+func TestMergeFuncStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	for trial := 0; trial < 40; trial++ {
+		na, nb := rng.Intn(300), rng.Intn(300)
+		a := verify.Tag(workload.SortedUniform(rng, na, 6), 0)
+		b := verify.Tag(workload.SortedUniform(rng, nb, 6), 1)
+		out := make([]verify.Tagged, na+nb)
+		MergeFunc(a, b, out, Config{Window: 3 + trial%17, Workers: 1 + trial%4}, verify.TaggedLess)
+		if !verify.StableMergeOrder(out) {
+			t.Fatalf("trial %d: segmented func merge unstable", trial)
+		}
+	}
+}
+
+func TestMergeFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MergeFunc([]int32{1}, []int32{2}, nil, Config{}, func(x, y int32) bool { return x < y })
+}
+
+func TestMergeFuncQuick(t *testing.T) {
+	less := func(x, y int32) bool { return x < y }
+	sorted := func(raw []int32) []int32 {
+		s := append([]int32(nil), raw...)
+		for i := 1; i < len(s); i++ {
+			for j := i; j > 0 && s[j] < s[j-1]; j-- {
+				s[j], s[j-1] = s[j-1], s[j]
+			}
+		}
+		return s
+	}
+	f := func(rawA, rawB []int32, lSeed, pSeed uint8) bool {
+		a, b := sorted(rawA), sorted(rawB)
+		out := make([]int32, len(a)+len(b))
+		MergeFunc(a, b, out, Config{Window: 1 + int(lSeed)%24, Workers: 1 + int(pSeed)%5}, less)
+		return verify.Equal(out, verify.ReferenceMerge(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

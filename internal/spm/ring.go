@@ -1,0 +1,53 @@
+package spm
+
+// ring is the cyclic staging buffer of Algorithm 2: fetched input elements
+// are appended at the tail, consumed elements are dropped from the head,
+// and the buffer is never compacted — exactly the paper's "overwriting the
+// used elements of the respective arrays (cyclic buffer)". Capacity is
+// rounded to a power of two so logical indexing is a mask, not a modulo.
+type ring[T any] struct {
+	buf  []T
+	mask int
+	head int // physical index of logical element 0
+	n    int // number of staged elements
+}
+
+func newRing[T any](capacity int) *ring[T] {
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return &ring[T]{buf: make([]T, size), mask: size - 1}
+}
+
+// at returns staged element i (0 <= i < n) without consuming it.
+func (r *ring[T]) at(i int) T { return r.buf[(r.head+i)&r.mask] }
+
+// len reports the number of staged elements.
+func (r *ring[T]) len() int { return r.n }
+
+// fill appends up to want elements from src, returning how many were
+// staged (bounded by free capacity and len(src)).
+func (r *ring[T]) fill(src []T, want int) int {
+	if free := len(r.buf) - r.n; want > free {
+		want = free
+	}
+	if want > len(src) {
+		want = len(src)
+	}
+	tail := (r.head + r.n) & r.mask
+	first := len(r.buf) - tail
+	if first > want {
+		first = want
+	}
+	copy(r.buf[tail:tail+first], src[:first])
+	copy(r.buf[:want-first], src[first:want])
+	r.n += want
+	return want
+}
+
+// drop consumes k elements from the head.
+func (r *ring[T]) drop(k int) {
+	r.head = (r.head + k) & r.mask
+	r.n -= k
+}

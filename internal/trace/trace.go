@@ -1,0 +1,72 @@
+// Package trace captures the memory access sequences of the merge
+// algorithms so the cache simulator (internal/cachesim) can replay them.
+// The paper's cache claims (§IV) are about which addresses the algorithms
+// touch and when; these walkers re-execute the algorithms' exact control
+// flow — data dependent, on real inputs — while emitting one event per
+// element read or write into a virtual address space whose layout the
+// experiments control (alignment is what provokes or avoids conflict
+// misses).
+package trace
+
+// Event is a single data-memory access by one core.
+type Event struct {
+	Core  uint8
+	Write bool
+	Addr  uint64
+}
+
+// Space is a bump allocator for the virtual address space traces live in.
+type Space struct {
+	next uint64
+}
+
+// NewSpace returns an empty address space. Address 0 is never allocated.
+func NewSpace() *Space { return &Space{next: 64} }
+
+// Alloc reserves n bytes aligned to align (a power of two) and returns the
+// base address. Alignment is the experimental knob: aligning all arrays to
+// the same large boundary makes same-index elements collide in cache sets.
+func (s *Space) Alloc(n int, align uint64) uint64 {
+	if align == 0 {
+		align = 1
+	}
+	if align&(align-1) != 0 {
+		panic("trace: alignment must be a power of two")
+	}
+	base := (s.next + align - 1) &^ (align - 1)
+	s.next = base + uint64(n)
+	return base
+}
+
+// Array maps logical element indices to addresses.
+type Array struct {
+	Base   uint64
+	Stride uint64 // element size in bytes
+}
+
+// AllocArray reserves space for n elements of elemSize bytes.
+func (s *Space) AllocArray(n, elemSize int, align uint64) Array {
+	return Array{Base: s.Alloc(n*elemSize, align), Stride: uint64(elemSize)}
+}
+
+// Addr returns the address of element i.
+func (a Array) Addr(i int) uint64 { return a.Base + uint64(i)*a.Stride }
+
+// RoundRobin interleaves per-worker event streams one event at a time, the
+// synchronous-PRAM approximation of concurrent execution: at "cycle" t,
+// worker w issues its t'th access. Exhausted workers drop out.
+func RoundRobin(workers [][]Event) []Event {
+	total := 0
+	for _, w := range workers {
+		total += len(w)
+	}
+	out := make([]Event, 0, total)
+	for t := 0; len(out) < total; t++ {
+		for _, w := range workers {
+			if t < len(w) {
+				out = append(out, w[t])
+			}
+		}
+	}
+	return out
+}

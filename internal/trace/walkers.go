@@ -1,0 +1,250 @@
+package trace
+
+import "mergepath/internal/core"
+
+// Layout bundles the three merge arrays' placements in the virtual space.
+type Layout struct {
+	A, B, Out Array
+}
+
+// StandardLayout allocates a, b and out back to back with the given
+// alignment for na and nb int32-sized elements.
+func StandardLayout(s *Space, na, nb int, align uint64) Layout {
+	return Layout{
+		A:   s.AllocArray(na, 4, align),
+		B:   s.AllocArray(nb, 4, align),
+		Out: s.AllocArray(na+nb, 4, align),
+	}
+}
+
+// SequentialMerge emits the access sequence of the plain two-pointer merge
+// on core 0: each step reads the two candidate heads and writes one output
+// element. (Re-reads of a head that stays put across steps are emitted
+// every step, as real scalar code without register promotion would; the
+// cache makes them hits, which is precisely what is being measured.)
+func SequentialMerge(a, b []int32, lay Layout) []Event {
+	events := make([]Event, 0, 3*(len(a)+len(b)))
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		events = append(events,
+			Event{Core: 0, Addr: lay.A.Addr(i)},
+			Event{Core: 0, Addr: lay.B.Addr(j)},
+		)
+		if a[i] <= b[j] {
+			i++
+		} else {
+			j++
+		}
+		events = append(events, Event{Core: 0, Write: true, Addr: lay.Out.Addr(k)})
+		k++
+	}
+	for ; i < len(a); i++ {
+		events = append(events,
+			Event{Core: 0, Addr: lay.A.Addr(i)},
+			Event{Core: 0, Write: true, Addr: lay.Out.Addr(k)},
+		)
+		k++
+	}
+	for ; j < len(b); j++ {
+		events = append(events,
+			Event{Core: 0, Addr: lay.B.Addr(j)},
+			Event{Core: 0, Write: true, Addr: lay.Out.Addr(k)},
+		)
+		k++
+	}
+	return events
+}
+
+// diagonalSearch emits the binary search's reads (one element of each array
+// per probe) for worker w and returns the crossing point.
+func diagonalSearch(a, b []int32, k int, w uint8, lay Layout, events []Event) (core.Point, []Event) {
+	lo := k - len(b)
+	if lo < 0 {
+		lo = 0
+	}
+	hi := k
+	if hi > len(a) {
+		hi = len(a)
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		events = append(events,
+			Event{Core: w, Addr: lay.A.Addr(mid)},
+			Event{Core: w, Addr: lay.B.Addr(k - mid - 1)},
+		)
+		if a[mid] <= b[k-mid-1] {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return core.Point{A: lo, B: k - lo}, events
+}
+
+// mergeRun emits worker w's sequential merge of steps elements from start,
+// reading both heads and writing one output element per step.
+func mergeRun(a, b []int32, start core.Point, steps, outBase int, w uint8, lay Layout, events []Event) []Event {
+	i, j := start.A, start.B
+	for k := 0; k < steps; k++ {
+		switch {
+		case i == len(a):
+			events = append(events, Event{Core: w, Addr: lay.B.Addr(j)})
+			j++
+		case j == len(b):
+			events = append(events, Event{Core: w, Addr: lay.A.Addr(i)})
+			i++
+		default:
+			events = append(events,
+				Event{Core: w, Addr: lay.A.Addr(i)},
+				Event{Core: w, Addr: lay.B.Addr(j)},
+			)
+			if a[i] <= b[j] {
+				i++
+			} else {
+				j++
+			}
+		}
+		events = append(events, Event{Core: w, Write: true, Addr: lay.Out.Addr(outBase + k)})
+	}
+	return events
+}
+
+// ParallelMerge emits the per-worker access streams of Algorithm 1
+// (diagonal search, then the worker's merge segment). The caller typically
+// interleaves them with RoundRobin before replay.
+func ParallelMerge(a, b []int32, p int, lay Layout) [][]Event {
+	total := len(a) + len(b)
+	if p > total {
+		p = max(total, 1)
+	}
+	workers := make([][]Event, p)
+	for w := 0; w < p; w++ {
+		lo := w * total / p
+		hi := (w + 1) * total / p
+		var events []Event
+		start, events := diagonalSearch(a, b, lo, uint8(w), lay, events)
+		workers[w] = mergeRun(a, b, start, hi-lo, lo, uint8(w), lay, events)
+	}
+	return workers
+}
+
+// SPM emits the access stream of Algorithm 2, the segmented parallel
+// merge. In the paper's model the "cyclic buffers" of staged elements ARE
+// the cache-resident copies of the input lines: fetching L elements means
+// touching the next L input addresses (which loads their lines), and the
+// in-window merge then re-reads the same addresses, hitting in cache.
+// There is no separate staging array in memory, so SPM pays exactly the
+// basic algorithm's compulsory traffic; what changes is the access
+// *locality*: at any instant only an L-element window of each input and of
+// the output is live (3L = C elements), and every worker operates inside
+// that window.
+//
+// Per window: core 0 performs the fetch phase (sequential reads of the
+// newly staged elements of a and b); then the p workers' in-window
+// diagonal searches and merges are interleaved round-robin; output is
+// written directly to its final location, as Algorithm 2 step 3 specifies.
+func SPM(a, b []int32, window, p int, lay Layout) []Event {
+	if window < 1 {
+		panic("trace: window must be positive")
+	}
+	total := len(a) + len(b)
+	events := make([]Event, 0, 4*total)
+
+	// Window state: staged elements of a are a[consA:consA+nA] where consA
+	// counts consumed elements; similarly for b.
+	consA, consB := 0, 0 // consumed
+	nA, nB := 0, 0       // staged but unconsumed
+	done := 0
+	for done < total {
+		// Fetch phase: top both staged windows up to `window` elements.
+		for nA < window && consA+nA < len(a) {
+			events = append(events, Event{Core: 0, Addr: lay.A.Addr(consA + nA)})
+			nA++
+		}
+		for nB < window && consB+nB < len(b) {
+			events = append(events, Event{Core: 0, Addr: lay.B.Addr(consB + nB)})
+			nB++
+		}
+		steps := window
+		if avail := nA + nB; steps > avail {
+			steps = avail
+		}
+
+		viewA := a[consA : consA+nA]
+		viewB := b[consB : consB+nB]
+
+		pw := p
+		if pw > steps {
+			pw = max(steps, 1)
+		}
+		workers := make([][]Event, pw)
+		for w := 0; w < pw; w++ {
+			lo := w * steps / pw
+			hi := (w + 1) * steps / pw
+			var ev []Event
+			start, ev := spmDiagonalSearch(viewA, viewB, lo, uint8(w), lay, consA, consB, ev)
+			workers[w] = spmMergeRun(viewA, viewB, start, hi-lo, done+lo, uint8(w), lay, consA, consB, ev)
+		}
+		events = append(events, RoundRobin(workers)...)
+
+		end := core.SearchDiagonal(viewA, viewB, steps)
+		consA += end.A
+		consB += end.B
+		nA -= end.A
+		nB -= end.B
+		done += steps
+	}
+	return events
+}
+
+// spmDiagonalSearch is the in-window diagonal search; offA/offB translate
+// window co-ranks to global array indices for addressing.
+func spmDiagonalSearch(a, b []int32, k int, w uint8, lay Layout, offA, offB int, events []Event) (core.Point, []Event) {
+	lo := k - len(b)
+	if lo < 0 {
+		lo = 0
+	}
+	hi := k
+	if hi > len(a) {
+		hi = len(a)
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		events = append(events,
+			Event{Core: w, Addr: lay.A.Addr(offA + mid)},
+			Event{Core: w, Addr: lay.B.Addr(offB + k - mid - 1)},
+		)
+		if a[mid] <= b[k-mid-1] {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return core.Point{A: lo, B: k - lo}, events
+}
+
+func spmMergeRun(a, b []int32, start core.Point, steps, outBase int, w uint8, lay Layout, offA, offB int, events []Event) []Event {
+	i, j := start.A, start.B
+	for k := 0; k < steps; k++ {
+		switch {
+		case i == len(a):
+			events = append(events, Event{Core: w, Addr: lay.B.Addr(offB + j)})
+			j++
+		case j == len(b):
+			events = append(events, Event{Core: w, Addr: lay.A.Addr(offA + i)})
+			i++
+		default:
+			events = append(events,
+				Event{Core: w, Addr: lay.A.Addr(offA + i)},
+				Event{Core: w, Addr: lay.B.Addr(offB + j)},
+			)
+			if a[i] <= b[j] {
+				i++
+			} else {
+				j++
+			}
+		}
+		events = append(events, Event{Core: w, Write: true, Addr: lay.Out.Addr(outBase + k)})
+	}
+	return events
+}

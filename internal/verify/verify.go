@@ -1,0 +1,164 @@
+// Package verify provides correctness oracles for the merge and sort
+// implementations: sortedness checks, multiset-permutation checks, and a
+// reference stable merge to compare against. Every parallel algorithm in
+// this repository is validated against these oracles in its tests.
+package verify
+
+import "cmp"
+
+// Sorted reports whether s is sorted in non-decreasing order.
+func Sorted[T cmp.Ordered](s []T) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// SortedFunc reports whether s is sorted under less.
+func SortedFunc[T any](s []T, less func(x, y T) bool) bool {
+	for i := 1; i < len(s); i++ {
+		if less(s[i], s[i-1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// FirstUnsorted returns the index i of the first element with s[i] < s[i-1],
+// or -1 if s is sorted. Useful in test failure messages.
+func FirstUnsorted[T cmp.Ordered](s []T) int {
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			return i
+		}
+	}
+	return -1
+}
+
+// SameMultiset reports whether got and want contain exactly the same
+// elements with the same multiplicities.
+func SameMultiset[T comparable](got, want []T) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	counts := make(map[T]int, len(want))
+	for _, v := range want {
+		counts[v]++
+	}
+	for _, v := range got {
+		counts[v]--
+		if counts[v] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsMergeOf reports whether out is a correct merge of sorted inputs a and b:
+// sorted, and a multiset-permutation of a followed by b.
+func IsMergeOf[T cmp.Ordered](out, a, b []T) bool {
+	if len(out) != len(a)+len(b) {
+		return false
+	}
+	if !Sorted(out) {
+		return false
+	}
+	joined := make([]T, 0, len(a)+len(b))
+	joined = append(joined, a...)
+	joined = append(joined, b...)
+	return SameMultiset(out, joined)
+}
+
+// ReferenceMerge is an independent, deliberately simple stable merge used as
+// the oracle for output-equality checks (ties taken from a first). It is
+// written differently from core.Merge (index arithmetic instead of
+// three-loop draining) so that a shared bug is less likely.
+func ReferenceMerge[T cmp.Ordered](a, b []T) []T {
+	out := make([]T, len(a)+len(b))
+	i, j := 0, 0
+	for k := range out {
+		takeA := i < len(a) && (j >= len(b) || a[i] <= b[j])
+		if takeA {
+			out[k] = a[i]
+			i++
+		} else {
+			out[k] = b[j]
+			j++
+		}
+	}
+	return out
+}
+
+// Equal reports whether two slices are element-wise identical.
+func Equal[T comparable](a, b []T) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Tagged wraps a value with its provenance (source array and original
+// index) so stability can be asserted through comparison-function based
+// merges: two Tagged values compare only on Key.
+type Tagged struct {
+	Key    int
+	Source int // 0 = array a, 1 = array b
+	Index  int // index within the source array
+}
+
+// TaggedLess orders Tagged values by Key only, making equal keys
+// indistinguishable to the algorithm under test.
+func TaggedLess(x, y Tagged) bool { return x.Key < y.Key }
+
+// Tag converts keys into Tagged values recording source s.
+func Tag(keys []int, s int) []Tagged {
+	out := make([]Tagged, len(keys))
+	for i, k := range keys {
+		out[i] = Tagged{Key: k, Source: s, Index: i}
+	}
+	return out
+}
+
+// StableMergeOrder reports whether the merged Tagged sequence respects
+// stability: among equal keys, all elements of source 0 precede those of
+// source 1, and within each source original indices are increasing.
+func StableMergeOrder(out []Tagged) bool {
+	for i := 1; i < len(out); i++ {
+		prev, cur := out[i-1], out[i]
+		if cur.Key < prev.Key {
+			return false
+		}
+		if cur.Key == prev.Key {
+			if prev.Source > cur.Source {
+				return false
+			}
+			if prev.Source == cur.Source && prev.Index >= cur.Index {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// StableSortOrder reports whether the sorted Tagged sequence respects
+// stability for a single-source sort: among equal keys, original indices
+// are strictly increasing.
+func StableSortOrder(out []Tagged) bool {
+	for i := 1; i < len(out); i++ {
+		prev, cur := out[i-1], out[i]
+		if cur.Key < prev.Key {
+			return false
+		}
+		if cur.Key == prev.Key && prev.Index >= cur.Index {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,202 @@
+package verify
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSorted(t *testing.T) {
+	cases := []struct {
+		s    []int
+		want bool
+	}{
+		{nil, true},
+		{[]int{1}, true},
+		{[]int{1, 1, 2}, true},
+		{[]int{2, 1}, false},
+		{[]int{1, 3, 2, 4}, false},
+	}
+	for _, c := range cases {
+		if got := Sorted(c.s); got != c.want {
+			t.Errorf("Sorted(%v) = %v", c.s, got)
+		}
+	}
+}
+
+func TestSortedFunc(t *testing.T) {
+	desc := func(x, y int) bool { return x > y }
+	if !SortedFunc([]int{3, 2, 1}, desc) {
+		t.Error("descending order under reversed less should be sorted")
+	}
+	if SortedFunc([]int{1, 2}, desc) {
+		t.Error("ascending under reversed less should not be sorted")
+	}
+}
+
+func TestFirstUnsorted(t *testing.T) {
+	if got := FirstUnsorted([]int{1, 2, 3}); got != -1 {
+		t.Errorf("sorted slice: %d", got)
+	}
+	if got := FirstUnsorted([]int{1, 3, 2, 0}); got != 2 {
+		t.Errorf("first violation: %d", got)
+	}
+	if got := FirstUnsorted([]int{}); got != -1 {
+		t.Errorf("empty: %d", got)
+	}
+}
+
+func TestSameMultiset(t *testing.T) {
+	if !SameMultiset([]int{1, 2, 2}, []int{2, 1, 2}) {
+		t.Error("permutation not recognized")
+	}
+	if SameMultiset([]int{1, 2, 2}, []int{1, 1, 2}) {
+		t.Error("different multiplicities accepted")
+	}
+	if SameMultiset([]int{1}, []int{1, 1}) {
+		t.Error("different lengths accepted")
+	}
+	if !SameMultiset([]int{}, []int{}) {
+		t.Error("empty sets differ")
+	}
+}
+
+func TestIsMergeOf(t *testing.T) {
+	a := []int{1, 3}
+	b := []int{2}
+	if !IsMergeOf([]int{1, 2, 3}, a, b) {
+		t.Error("valid merge rejected")
+	}
+	if IsMergeOf([]int{1, 3, 2}, a, b) {
+		t.Error("unsorted output accepted")
+	}
+	if IsMergeOf([]int{1, 2, 4}, a, b) {
+		t.Error("wrong elements accepted")
+	}
+	if IsMergeOf([]int{1, 2}, a, b) {
+		t.Error("short output accepted")
+	}
+}
+
+func TestReferenceMergeProperties(t *testing.T) {
+	f := func(rawA, rawB []int) bool {
+		a := append([]int(nil), rawA...)
+		b := append([]int(nil), rawB...)
+		insertionSort(a)
+		insertionSort(b)
+		out := ReferenceMerge(a, b)
+		return IsMergeOf(out, a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReferenceMergeTieRule(t *testing.T) {
+	// Equal values: all of a's must precede b's. Verified with Tagged.
+	a := Tag([]int{5, 5}, 0)
+	b := Tag([]int{5}, 1)
+	out := make([]Tagged, 0, 3)
+	// ReferenceMerge needs cmp.Ordered; emulate via the explicit rule on
+	// raw keys and check Tagged ordering through StableMergeOrder instead.
+	i, j := 0, 0
+	for len(out) < 3 {
+		takeA := i < len(a) && (j >= len(b) || a[i].Key <= b[j].Key)
+		if takeA {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	if !StableMergeOrder(out) {
+		t.Fatalf("tie rule broken: %+v", out)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal([]int{1, 2}, []int{1, 2}) {
+		t.Error("equal slices differ")
+	}
+	if Equal([]int{1, 2}, []int{2, 1}) {
+		t.Error("different slices equal")
+	}
+	if Equal([]int{1}, []int{1, 2}) {
+		t.Error("different lengths equal")
+	}
+	if !Equal([]int{}, []int{}) {
+		t.Error("empty slices differ")
+	}
+}
+
+func TestTagAndTaggedLess(t *testing.T) {
+	tags := Tag([]int{9, 3}, 1)
+	if len(tags) != 2 || tags[0].Key != 9 || tags[0].Source != 1 || tags[1].Index != 1 {
+		t.Fatalf("tags %+v", tags)
+	}
+	if !TaggedLess(tags[1], tags[0]) || TaggedLess(tags[0], tags[1]) {
+		t.Error("TaggedLess wrong")
+	}
+	if TaggedLess(tags[0], tags[0]) {
+		t.Error("irreflexivity broken")
+	}
+}
+
+func TestStableMergeOrder(t *testing.T) {
+	good := []Tagged{
+		{Key: 1, Source: 0, Index: 0},
+		{Key: 1, Source: 0, Index: 1},
+		{Key: 1, Source: 1, Index: 0},
+		{Key: 2, Source: 1, Index: 1},
+	}
+	if !StableMergeOrder(good) {
+		t.Error("stable order rejected")
+	}
+	badSource := []Tagged{
+		{Key: 1, Source: 1, Index: 0},
+		{Key: 1, Source: 0, Index: 0},
+	}
+	if StableMergeOrder(badSource) {
+		t.Error("source inversion accepted")
+	}
+	badIndex := []Tagged{
+		{Key: 1, Source: 0, Index: 1},
+		{Key: 1, Source: 0, Index: 0},
+	}
+	if StableMergeOrder(badIndex) {
+		t.Error("index inversion accepted")
+	}
+	badKey := []Tagged{
+		{Key: 2, Source: 0, Index: 0},
+		{Key: 1, Source: 0, Index: 1},
+	}
+	if StableMergeOrder(badKey) {
+		t.Error("key inversion accepted")
+	}
+}
+
+func TestStableSortOrder(t *testing.T) {
+	good := []Tagged{
+		{Key: 1, Index: 3},
+		{Key: 1, Index: 5},
+		{Key: 2, Index: 0},
+	}
+	if !StableSortOrder(good) {
+		t.Error("stable sort order rejected")
+	}
+	bad := []Tagged{
+		{Key: 1, Index: 5},
+		{Key: 1, Index: 3},
+	}
+	if StableSortOrder(bad) {
+		t.Error("index inversion accepted")
+	}
+}
+
+func insertionSort(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package viz renders merge matrices and merge paths as ASCII diagrams in
+// the style of the paper's Figures 1 and 2 — the "one can see the merge"
+// intuition that is the paper's central pedagogical contribution. Intended
+// for small inputs (the grid is |A|x|B| characters); used by cmd/pathviz
+// and handy in test failure output.
+package viz
+
+import (
+	"cmp"
+	"fmt"
+	"strings"
+
+	"mergepath/internal/core"
+)
+
+// Matrix renders the binary merge matrix of Definition 1: rows labelled
+// with A's elements, columns with B's, cells '1' where A[i] > B[j] and '.'
+// otherwise. The 1-region is the lower-left staircase the paper's
+// Proposition 10 describes.
+func Matrix[T cmp.Ordered](a, b []T) string {
+	var sb strings.Builder
+	labelsA, widthA := labels(a)
+	labelsB, widthB := labels(b)
+	sb.WriteString(strings.Repeat(" ", widthA+1))
+	for _, l := range labelsB {
+		fmt.Fprintf(&sb, "%*s ", widthB, l)
+	}
+	sb.WriteByte('\n')
+	for i := range a {
+		fmt.Fprintf(&sb, "%*s ", widthA, labelsA[i])
+		for j := range b {
+			cell := "."
+			if a[i] > b[j] {
+				cell = "1"
+			}
+			fmt.Fprintf(&sb, "%*s ", widthB, cell)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Path renders the merge path on the (|A|+1)x(|B|+1) grid of co-rank
+// points: the path is drawn with '#', grid points with '.', and, when
+// p > 1, the p-1 equispaced partition crossings with the worker digit
+// ('1'..'9', then letters). Row r corresponds to r elements of A consumed;
+// column c to c elements of B consumed — down-steps consume A, right-steps
+// consume B, exactly the construction of §II.A.
+func Path[T cmp.Ordered](a, b []T, p int) string {
+	grid := make([][]byte, len(a)+1)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(". ", len(b)+1))
+	}
+	set := func(pt core.Point, c byte) {
+		grid[pt.A][2*pt.B] = c
+	}
+	for _, pt := range core.Path(a, b) {
+		set(pt, '#')
+	}
+	if p > 1 {
+		for i, pt := range core.Partition(a, b, p) {
+			if i == 0 || i == p {
+				continue
+			}
+			set(pt, cutMark(i))
+		}
+	}
+
+	var sb strings.Builder
+	labelsA, widthA := labels(a)
+	labelsB, widthB := labels(b)
+	// Column headers sit between grid columns (element j is consumed
+	// moving from column j to j+1).
+	sb.WriteString(strings.Repeat(" ", widthA+2))
+	for _, l := range labelsB {
+		fmt.Fprintf(&sb, "%-2s", l)
+		if widthB > 1 {
+			sb.WriteString(strings.Repeat(" ", 0))
+		}
+	}
+	sb.WriteByte('\n')
+	for r := 0; r < len(grid); r++ {
+		label := ""
+		if r > 0 {
+			label = labelsA[r-1]
+		}
+		fmt.Fprintf(&sb, "%*s %s\n", widthA, label, string(grid[r]))
+	}
+	return sb.String()
+}
+
+func cutMark(i int) byte {
+	if i < 10 {
+		return byte('0' + i)
+	}
+	if i < 36 {
+		return byte('a' + i - 10)
+	}
+	return '+'
+}
+
+func labels[T any](s []T) ([]string, int) {
+	out := make([]string, len(s))
+	width := 1
+	for i, v := range s {
+		out[i] = fmt.Sprint(v)
+		if len(out[i]) > width {
+			width = len(out[i])
+		}
+	}
+	return out, width
+}

@@ -1,0 +1,92 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMatrixRendering(t *testing.T) {
+	a := []int32{3, 7}
+	b := []int32{2, 5, 9}
+	out := Matrix(a, b)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 rows
+		t.Fatalf("lines: %d\n%s", len(lines), out)
+	}
+	// Row for 3: 3>2 -> 1, 3>5 -> ., 3>9 -> .
+	if !strings.Contains(lines[1], "1 . .") {
+		t.Errorf("row for 3 wrong: %q", lines[1])
+	}
+	// Row for 7: 7>2, 7>5 -> 1 1 ., 7>9 -> .
+	if !strings.Contains(lines[2], "1 1 .") {
+		t.Errorf("row for 7 wrong: %q", lines[2])
+	}
+}
+
+func TestMatrixMonotoneStaircase(t *testing.T) {
+	// The rendered 1-region must be a lower-left staircase: within a row,
+	// no '1' after a '.'; down a column, no '.' after a '1'.
+	a := []int32{1, 4, 4, 8}
+	b := []int32{0, 3, 5, 9}
+	out := Matrix(a, b)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")[1:]
+	for _, line := range lines {
+		cells := strings.Fields(line)[1:] // drop label
+		seenDot := false
+		for _, c := range cells {
+			if c == "." {
+				seenDot = true
+			} else if seenDot {
+				t.Fatalf("non-monotone row: %q", line)
+			}
+		}
+	}
+}
+
+func TestPathRendering(t *testing.T) {
+	a := []int32{1, 3}
+	b := []int32{2, 4}
+	out := Path(a, b, 1)
+	// The path has 5 points; count '#'.
+	if got := strings.Count(out, "#"); got != 5 {
+		t.Fatalf("path marks: %d\n%s", got, out)
+	}
+	// Starts at top-left grid point of the first grid row.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[1], "#") {
+		t.Fatalf("path missing from first grid row:\n%s", out)
+	}
+}
+
+func TestPathPartitionMarks(t *testing.T) {
+	a := []int32{1, 2, 3, 4}
+	b := []int32{5, 6, 7, 8}
+	out := Path(a, b, 4)
+	// p=4: cuts 1..3 marked with digits, replacing three '#'.
+	for _, mark := range []string{"1", "2", "3"} {
+		if !strings.Contains(out, mark+" ") && !strings.Contains(out, " "+mark) {
+			t.Fatalf("cut mark %s missing:\n%s", mark, out)
+		}
+	}
+	if got := strings.Count(out, "#"); got != 9-3 {
+		t.Fatalf("path marks after cuts: %d\n%s", got, out)
+	}
+}
+
+func TestPathEmptyInputs(t *testing.T) {
+	var empty []int32
+	out := Path(empty, []int32{1, 2}, 1)
+	if got := strings.Count(out, "#"); got != 3 {
+		t.Fatalf("degenerate path marks: %d\n%s", got, out)
+	}
+	out = Path(empty, empty, 1)
+	if got := strings.Count(out, "#"); got != 1 {
+		t.Fatalf("empty-empty marks: %d\n%s", got, out)
+	}
+}
+
+func TestCutMark(t *testing.T) {
+	if cutMark(3) != '3' || cutMark(10) != 'a' || cutMark(35) != 'z' || cutMark(36) != '+' {
+		t.Error("cut mark mapping wrong")
+	}
+}

@@ -1,0 +1,200 @@
+// Package workload generates the deterministic inputs used across the test
+// suites and the experiment harness: uniform random sorted arrays (the
+// paper's Figure 5 workload), adversarial interleavings that defeat naive
+// partitioning (the Section I counterexample), duplicate-heavy arrays that
+// stress tie handling, and structured patterns (runs, staircase, organ
+// pipe) that exercise extreme merge-path shapes.
+//
+// All generators are pure functions of their seed so every experiment is
+// reproducible bit-for-bit.
+package workload
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Kind names a generator, usable as a CLI flag value.
+type Kind string
+
+const (
+	Uniform     Kind = "uniform"       // i.i.d. uniform values, then sorted (Figure 5 workload)
+	AllAGreater Kind = "all-a-greater" // every element of A exceeds every element of B (§I counterexample)
+	AllBGreater Kind = "all-b-greater" // mirror image of AllAGreater
+	Interleave  Kind = "interleave"    // perfectly alternating values: path hugs the diagonal
+	Duplicates  Kind = "duplicates"    // few distinct values, long runs of ties
+	Runs        Kind = "runs"          // piecewise constant-gap runs: long straight path segments
+	Staircase   Kind = "staircase"     // alternating blocks: path is a coarse staircase
+	OnePoison   Kind = "one-poison"    // sorted uniform with a single extreme element
+)
+
+// Kinds lists every generator, for sweeps that iterate all workloads.
+func Kinds() []Kind {
+	return []Kind{Uniform, AllAGreater, AllBGreater, Interleave, Duplicates, Runs, Staircase, OnePoison}
+}
+
+// Pair produces two sorted int32 slices of lengths na and nb for the given
+// workload kind and seed.
+func Pair(kind Kind, na, nb int, seed int64) (a, b []int32) {
+	rng := rand.New(rand.NewSource(seed))
+	switch kind {
+	case Uniform:
+		return SortedUniform32(rng, na), SortedUniform32(rng, nb)
+	case AllAGreater:
+		b = ascending32(0, nb)
+		a = ascending32(int32(nb)+1, na)
+		return a, b
+	case AllBGreater:
+		a = ascending32(0, na)
+		b = ascending32(int32(na)+1, nb)
+		return a, b
+	case Interleave:
+		a = make([]int32, na)
+		for i := range a {
+			a[i] = int32(2 * i)
+		}
+		b = make([]int32, nb)
+		for i := range b {
+			b[i] = int32(2*i + 1)
+		}
+		return a, b
+	case Duplicates:
+		distinct := int32(4)
+		a = sortedMod32(rng, na, distinct)
+		b = sortedMod32(rng, nb, distinct)
+		return a, b
+	case Runs:
+		a = runs32(rng, na, 1<<10)
+		b = runs32(rng, nb, 1<<10)
+		return a, b
+	case Staircase:
+		a = blocks32(na, 1<<8, 0)
+		b = blocks32(nb, 1<<8, 1)
+		return a, b
+	case OnePoison:
+		a = SortedUniform32(rng, na)
+		b = SortedUniform32(rng, nb)
+		if len(a) > 0 {
+			a[len(a)-1] = 1<<31 - 1
+		}
+		return a, b
+	default:
+		panic("workload: unknown kind " + string(kind))
+	}
+}
+
+// SortedUniform32 returns n i.i.d. uniform int32 values in ascending order.
+func SortedUniform32(rng *rand.Rand, n int) []int32 {
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = int32(rng.Uint32() >> 1) // non-negative, full positive range
+	}
+	sortInt32(s)
+	return s
+}
+
+// SortedUniform returns n i.i.d. uniform ints in [0, limit) in ascending
+// order. limit <= 0 means the full non-negative int63 range.
+func SortedUniform(rng *rand.Rand, n int, limit int) []int {
+	s := make([]int, n)
+	for i := range s {
+		if limit > 0 {
+			s[i] = rng.Intn(limit)
+		} else {
+			s[i] = int(rng.Int63())
+		}
+	}
+	sort.Ints(s)
+	return s
+}
+
+// Unsorted returns n i.i.d. uniform int32 values (not sorted), the input to
+// the sort experiments.
+func Unsorted(rng *rand.Rand, n int) []int32 {
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = int32(rng.Uint32() >> 1)
+	}
+	return s
+}
+
+// UnsortedInts is Unsorted for int elements in [0, limit), full range when
+// limit <= 0.
+func UnsortedInts(rng *rand.Rand, n, limit int) []int {
+	s := make([]int, n)
+	for i := range s {
+		if limit > 0 {
+			s[i] = rng.Intn(limit)
+		} else {
+			s[i] = int(rng.Int63())
+		}
+	}
+	return s
+}
+
+func ascending32(from int32, n int) []int32 {
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = from + int32(i)
+	}
+	return s
+}
+
+func sortedMod32(rng *rand.Rand, n int, mod int32) []int32 {
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = rng.Int31n(mod)
+	}
+	sortInt32(s)
+	return s
+}
+
+// runs32 builds a sorted array whose value gaps alternate between tiny and
+// huge every runLen elements, producing long straight stretches of merge
+// path when merged against an independently generated partner.
+func runs32(rng *rand.Rand, n, runLen int) []int32 {
+	s := make([]int32, n)
+	var v int32
+	for i := range s {
+		if i%runLen == 0 {
+			v += rng.Int31n(1 << 16)
+		}
+		v += rng.Int31n(4)
+		s[i] = v
+	}
+	return s
+}
+
+// blocks32 builds a sorted array from value blocks of width blockLen; the
+// phase argument offsets the block values so that two arrays with opposite
+// phases merge as a coarse staircase.
+func blocks32(n, blockLen, phase int) []int32 {
+	s := make([]int32, n)
+	for i := range s {
+		block := i / blockLen
+		s[i] = int32(2*block+phase)*int32(blockLen) + int32(i%blockLen)
+	}
+	return s
+}
+
+func sortInt32(s []int32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+// SortedZipf returns n sorted values drawn from a discrete Zipf-like
+// distribution over [0, domain): heavy duplication of the smallest values,
+// a long tail of rare ones. This is the shape of posting-list document
+// frequencies and of skewed join keys, used by the set-operation
+// experiments.
+func SortedZipf(rng *rand.Rand, n, domain int) []int32 {
+	if domain < 1 {
+		domain = 1
+	}
+	z := rand.NewZipf(rng, 1.3, 1, uint64(domain-1))
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = int32(z.Uint64())
+	}
+	sortInt32(s)
+	return s
+}

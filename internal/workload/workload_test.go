@@ -1,0 +1,223 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func sorted32(s []int32) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAllKindsProduceSortedPairs(t *testing.T) {
+	for _, kind := range Kinds() {
+		for _, na := range []int{0, 1, 17, 1000} {
+			for _, nb := range []int{0, 1, 23, 1000} {
+				a, b := Pair(kind, na, nb, 7)
+				if len(a) != na || len(b) != nb {
+					t.Fatalf("kind=%v: lengths %d/%d, want %d/%d", kind, len(a), len(b), na, nb)
+				}
+				if !sorted32(a) || !sorted32(b) {
+					t.Fatalf("kind=%v na=%d nb=%d: unsorted output", kind, na, nb)
+				}
+			}
+		}
+	}
+}
+
+func TestPairDeterministic(t *testing.T) {
+	for _, kind := range Kinds() {
+		a1, b1 := Pair(kind, 500, 300, 42)
+		a2, b2 := Pair(kind, 500, 300, 42)
+		for i := range a1 {
+			if a1[i] != a2[i] {
+				t.Fatalf("kind=%v: a not deterministic at %d", kind, i)
+			}
+		}
+		for i := range b1 {
+			if b1[i] != b2[i] {
+				t.Fatalf("kind=%v: b not deterministic at %d", kind, i)
+			}
+		}
+	}
+}
+
+func TestPairSeedSensitivity(t *testing.T) {
+	a1, _ := Pair(Uniform, 1000, 0, 1)
+	a2, _ := Pair(Uniform, 1000, 0, 2)
+	same := true
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical uniform workloads")
+	}
+}
+
+func TestAllAGreaterProperty(t *testing.T) {
+	a, b := Pair(AllAGreater, 100, 100, 3)
+	if a[0] <= b[len(b)-1] {
+		t.Fatalf("min(a)=%d should exceed max(b)=%d", a[0], b[len(b)-1])
+	}
+	a, b = Pair(AllBGreater, 100, 100, 3)
+	if b[0] <= a[len(a)-1] {
+		t.Fatalf("min(b)=%d should exceed max(a)=%d", b[0], a[len(a)-1])
+	}
+}
+
+func TestInterleaveProperty(t *testing.T) {
+	a, b := Pair(Interleave, 50, 50, 1)
+	// Strictly alternating values: a[i]=2i, b[i]=2i+1.
+	for i := range a {
+		if a[i] != int32(2*i) || b[i] != int32(2*i+1) {
+			t.Fatalf("interleave broken at %d: a=%d b=%d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDuplicatesProperty(t *testing.T) {
+	a, _ := Pair(Duplicates, 1000, 0, 5)
+	distinct := map[int32]bool{}
+	for _, v := range a {
+		distinct[v] = true
+	}
+	if len(distinct) > 4 {
+		t.Fatalf("duplicates workload has %d distinct values, want <= 4", len(distinct))
+	}
+}
+
+func TestOnePoisonProperty(t *testing.T) {
+	a, _ := Pair(OnePoison, 100, 100, 5)
+	if a[len(a)-1] != 1<<31-1 {
+		t.Fatalf("poison element missing: %d", a[len(a)-1])
+	}
+	if !sorted32(a) {
+		t.Fatal("poisoned array must stay sorted")
+	}
+}
+
+func TestPairUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Pair(Kind("nonsense"), 1, 1, 1)
+}
+
+func TestSortedUniformLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := SortedUniform(rng, 1000, 10)
+	for _, v := range s {
+		if v < 0 || v >= 10 {
+			t.Fatalf("value %d outside [0,10)", v)
+		}
+	}
+	full := SortedUniform(rng, 10, 0)
+	for i := 1; i < len(full); i++ {
+		if full[i] < full[i-1] {
+			t.Fatal("full-range variant unsorted")
+		}
+	}
+}
+
+func TestUnsortedGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := Unsorted(rng, 10000)
+	if sorted32(s) {
+		t.Fatal("unsorted generator produced sorted output (astronomically unlikely)")
+	}
+	ints := UnsortedInts(rng, 100, 5)
+	for _, v := range ints {
+		if v < 0 || v >= 5 {
+			t.Fatalf("value %d outside [0,5)", v)
+		}
+	}
+	free := UnsortedInts(rng, 10, 0)
+	if len(free) != 10 {
+		t.Fatal("length wrong")
+	}
+}
+
+func TestStaircaseShape(t *testing.T) {
+	a, b := Pair(Staircase, 1024, 1024, 1)
+	// Opposite phases: the first block of a (values < blockLen*1) precedes
+	// the first block of b entirely.
+	if a[0] >= b[0] {
+		t.Fatalf("phase 0 should start below phase 1: %d vs %d", a[0], b[0])
+	}
+	if a[255] >= b[0] {
+		t.Fatalf("block 0 of a should finish before block 0 of b: %d vs %d", a[255], b[0])
+	}
+	if b[255] >= a[256] {
+		t.Fatalf("block 0 of b should finish before block 1 of a: %d vs %d", b[255], a[256])
+	}
+}
+
+func TestRunsShape(t *testing.T) {
+	a, _ := Pair(Runs, 4096, 0, 9)
+	if !sorted32(a) {
+		t.Fatal("runs workload unsorted")
+	}
+	// Gaps alternate between small (<4 within a run) and potentially large
+	// at run boundaries; verify at least one large jump exists.
+	bigJump := false
+	for i := 1; i < len(a); i++ {
+		if a[i]-a[i-1] > 1000 {
+			bigJump = true
+			break
+		}
+	}
+	if !bigJump {
+		t.Fatal("runs workload lacks run-boundary jumps")
+	}
+}
+
+func TestKindsComplete(t *testing.T) {
+	if len(Kinds()) != 8 {
+		t.Fatalf("Kinds() has %d entries", len(Kinds()))
+	}
+	seen := map[Kind]bool{}
+	for _, k := range Kinds() {
+		if seen[k] {
+			t.Fatalf("duplicate kind %v", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestSortedZipf(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := SortedZipf(rng, 10000, 1000)
+	if !sorted32(s) {
+		t.Fatal("zipf output unsorted")
+	}
+	for _, v := range s {
+		if v < 0 || v >= 1000 {
+			t.Fatalf("value %d outside domain", v)
+		}
+	}
+	// Skew: the most common value should dominate.
+	counts := map[int32]int{}
+	for _, v := range s {
+		counts[v]++
+	}
+	if counts[0] < len(s)/10 {
+		t.Fatalf("zipf skew missing: count(0)=%d", counts[0])
+	}
+	// Degenerate domain.
+	one := SortedZipf(rng, 5, 0)
+	for _, v := range one {
+		if v != 0 {
+			t.Fatalf("domain 1 value %d", v)
+		}
+	}
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench experiments fmt
+.PHONY: all build vet test race cover bench experiments fmt serve loadtest
 
 all: build vet test
 
@@ -17,7 +17,8 @@ test:
 
 race:
 	$(GO) test -race ./internal/core ./internal/psort ./internal/spm \
-		./internal/kway ./internal/setops ./internal/sched ./internal/baseline
+		./internal/kway ./internal/setops ./internal/sched ./internal/baseline \
+		./internal/server ./internal/batch ./internal/stats
 
 cover:
 	$(GO) test -cover ./...
@@ -34,3 +35,12 @@ experiments:
 
 fmt:
 	gofmt -w .
+
+# Run the merge/sort service daemon on :8080.
+serve:
+	$(GO) run ./cmd/mergepathd -addr :8080
+
+# Closed-loop load test against an in-process daemon; the JSON summary is
+# the service-throughput benchmark artifact tracked across PRs.
+loadtest:
+	$(GO) run ./cmd/mergeload -duration 5s -conc 16 -dist skew -json BENCH_server.json

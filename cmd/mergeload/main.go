@@ -1,0 +1,390 @@
+// Command mergeload is a load generator for mergepathd: it drives
+// configurable closed-loop (fixed concurrency) or open-loop (fixed
+// arrival rate) merge/sort/k-way traffic at a daemon, then prints a
+// throughput/latency table and, with -json, a machine-readable summary
+// (BENCH_server.json in the Makefile) so the service's scaling curve is
+// part of the benchmark trajectory.
+//
+// With no -url it self-serves: an in-process server on a loopback
+// listener, so `make loadtest` measures the full HTTP stack with zero
+// setup.
+//
+// Usage:
+//
+//	mergeload -duration 5s -conc 16 -size 256 -dist skew
+//	mergeload -url http://localhost:8080 -rate 2000 -endpoint mergek
+//	mergeload -json BENCH_server.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mergepath/internal/harness"
+	"mergepath/internal/server"
+	"mergepath/internal/stats"
+)
+
+type options struct {
+	url      string
+	duration time.Duration
+	warmup   time.Duration
+	conc     int
+	rate     float64
+	endpoint string
+	size     int
+	dist     string
+	seed     int64
+	jsonPath string
+	workers  int
+	queue    int
+}
+
+// canned is a pre-marshalled request body (generation must not sit on
+// the measured path).
+type canned struct {
+	path  string
+	body  []byte
+	elems int // elements the server must produce for this request
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.url, "url", "", "daemon base URL (empty = in-process self-serve)")
+	flag.DurationVar(&o.duration, "duration", 5*time.Second, "measured run length")
+	flag.DurationVar(&o.warmup, "warmup", 500*time.Millisecond, "untimed warmup length")
+	flag.IntVar(&o.conc, "conc", 16, "closed-loop concurrency (outstanding requests)")
+	flag.Float64Var(&o.rate, "rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
+	flag.StringVar(&o.endpoint, "endpoint", "mix", "merge | sort | mergek | setops | mix")
+	flag.IntVar(&o.size, "size", 256, "mean elements per input array")
+	flag.StringVar(&o.dist, "dist", "skew", "request size distribution: fixed | uniform | skew")
+	flag.Int64Var(&o.seed, "seed", 42, "workload seed")
+	flag.StringVar(&o.jsonPath, "json", "", "write machine-readable results to this file")
+	flag.IntVar(&o.workers, "workers", 0, "self-serve: pool size (0 = GOMAXPROCS)")
+	flag.IntVar(&o.queue, "queue", 256, "self-serve: admission queue depth")
+	flag.Parse()
+
+	var srv *server.Server
+	base := o.url
+	if base == "" {
+		srv = server.New(server.Config{Workers: o.workers, QueueDepth: o.queue})
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		base = ts.URL
+		fmt.Printf("self-serving on %s (workers=%d queue=%d)\n", base, srv.Workers(), o.queue)
+	}
+
+	reqs := buildRequests(o)
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	run(base, client, reqs, o.warmup, o) // warmup, result discarded
+	res := run(base, client, reqs, o.duration, o)
+
+	printTable(o, res)
+	if o.jsonPath != "" {
+		writeJSON(o, res, base, client)
+	}
+}
+
+// result aggregates one run.
+type result struct {
+	elapsed        time.Duration
+	ok, shed, errs atomic.Int64
+	elems          atomic.Int64 // output elements across ok requests
+	dropped        atomic.Int64 // open loop: arrivals skipped, all slots busy
+	latency        stats.Histogram
+	perEndpoint    map[string]*stats.Histogram
+	perEndpointOK  map[string]*atomic.Int64
+	mu             sync.Mutex
+}
+
+func newResult() *result {
+	return &result{
+		perEndpoint:   map[string]*stats.Histogram{},
+		perEndpointOK: map[string]*atomic.Int64{},
+	}
+}
+
+func (r *result) endpointSlot(path string) (*stats.Histogram, *atomic.Int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.perEndpoint[path]
+	if !ok {
+		h = &stats.Histogram{}
+		r.perEndpoint[path] = h
+		r.perEndpointOK[path] = &atomic.Int64{}
+	}
+	return h, r.perEndpointOK[path]
+}
+
+// buildRequests pre-marshals a pool of request bodies matching the
+// endpoint mix and size distribution.
+func buildRequests(o options) []canned {
+	rng := rand.New(rand.NewSource(o.seed))
+	sizeOf := func() int {
+		switch o.dist {
+		case "fixed":
+			return o.size
+		case "uniform":
+			return 1 + rng.Intn(2*o.size)
+		default: // "skew": mostly small, a heavy tail of 16x requests
+			if rng.Intn(20) == 0 {
+				return o.size * 16
+			}
+			return 1 + rng.Intn(o.size)
+		}
+	}
+	sorted := func(n int) []int64 {
+		s := make([]int64, n)
+		v := int64(0)
+		for i := range s {
+			v += rng.Int63n(8)
+			s[i] = v
+		}
+		return s
+	}
+	endpoints := []string{o.endpoint}
+	if o.endpoint == "mix" {
+		// Weighted toward merge: the coalescing path is the one under test.
+		endpoints = []string{"merge", "merge", "merge", "merge", "sort", "mergek", "setops"}
+	}
+	const poolSize = 256
+	reqs := make([]canned, 0, poolSize)
+	for i := 0; i < poolSize; i++ {
+		ep := endpoints[rng.Intn(len(endpoints))]
+		n := sizeOf()
+		var body any
+		var path string
+		elems := 0
+		switch ep {
+		case "merge":
+			a, b := sorted(n), sorted(n)
+			body, path, elems = server.MergeRequest{A: a, B: b}, "/v1/merge", 2*n
+		case "sort":
+			data := make([]int64, 2*n)
+			for j := range data {
+				data[j] = rng.Int63n(1 << 30)
+			}
+			body, path, elems = server.SortRequest{Data: data}, "/v1/sort", 2*n
+		case "mergek":
+			lists := make([][]int64, 4)
+			for j := range lists {
+				lists[j] = sorted(n / 2)
+				elems += len(lists[j])
+			}
+			body, path = server.MergeKRequest{Lists: lists}, "/v1/mergek"
+		case "setops":
+			ops := []string{"union", "intersect", "diff"}
+			body, path, elems = server.SetOpsRequest{Op: ops[rng.Intn(3)], A: sorted(n), B: sorted(n)}, "/v1/setops", 2*n
+		default:
+			fatalf("unknown endpoint %q", ep)
+		}
+		buf, err := json.Marshal(body)
+		if err != nil {
+			fatalf("marshal: %v", err)
+		}
+		reqs = append(reqs, canned{path: path, body: buf, elems: elems})
+	}
+	return reqs
+}
+
+// run drives traffic for d and returns the aggregate.
+func run(base string, client *http.Client, reqs []canned, d time.Duration, o options) *result {
+	res := newResult()
+	stop := make(chan struct{})
+	time.AfterFunc(d, func() { close(stop) })
+	start := time.Now()
+
+	fire := func(c canned) {
+		h, okCount := res.endpointSlot(c.path)
+		t0 := time.Now()
+		resp, err := client.Post(base+c.path, "application/json", bytes.NewReader(c.body))
+		lat := time.Since(t0)
+		if err != nil {
+			res.errs.Add(1)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			res.ok.Add(1)
+			res.elems.Add(int64(c.elems))
+			res.latency.Observe(lat)
+			h.Observe(lat)
+			okCount.Add(1)
+		case resp.StatusCode == http.StatusServiceUnavailable:
+			res.shed.Add(1)
+		default:
+			res.errs.Add(1)
+		}
+	}
+
+	var wg sync.WaitGroup
+	if o.rate <= 0 {
+		// Closed loop: conc workers, each back-to-back.
+		for w := 0; w < o.conc; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(o.seed + int64(w)))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					fire(reqs[rng.Intn(len(reqs))])
+				}
+			}(w)
+		}
+	} else {
+		// Open loop: Poisson-ish fixed-interval arrivals; a bounded slot
+		// pool keeps the client itself from unbounded goroutine growth —
+		// arrivals finding no free slot are counted as dropped.
+		slots := make(chan struct{}, 4*o.conc)
+		interval := time.Duration(float64(time.Second) / o.rate)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		rng := rand.New(rand.NewSource(o.seed))
+	loop:
+		for {
+			select {
+			case <-stop:
+				break loop
+			case <-ticker.C:
+				select {
+				case slots <- struct{}{}:
+					wg.Add(1)
+					go func(c canned) {
+						defer wg.Done()
+						defer func() { <-slots }()
+						fire(c)
+					}(reqs[rng.Intn(len(reqs))])
+				default:
+					res.dropped.Add(1)
+				}
+			}
+		}
+	}
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	return res
+}
+
+func fmtDur(d time.Duration) string {
+	return d.Round(10 * time.Microsecond).String()
+}
+
+func printTable(o options, res *result) {
+	mode := "closed"
+	if o.rate > 0 {
+		mode = fmt.Sprintf("open @ %.0f req/s", o.rate)
+	}
+	agg := res.latency.Snapshot()
+	t := harness.NewTable(
+		fmt.Sprintf("mergeload: %s loop, conc=%d, dist=%s, size=%d, %v",
+			mode, o.conc, o.dist, o.size, res.elapsed.Round(time.Millisecond)),
+		"endpoint", "ok", "req/s", "Melem/s", "p50", "p95", "p99", "max")
+	secs := res.elapsed.Seconds()
+	for path, h := range res.perEndpoint {
+		s := h.Snapshot()
+		okN := res.perEndpointOK[path].Load()
+		t.Addf(path, okN, fmt.Sprintf("%.0f", float64(okN)/secs), "-",
+			fmtDur(s.P50), fmtDur(s.P95), fmtDur(s.P99), fmtDur(s.Max))
+	}
+	t.Addf("TOTAL", res.ok.Load(),
+		fmt.Sprintf("%.0f", float64(res.ok.Load())/secs),
+		fmt.Sprintf("%.2f", float64(res.elems.Load())/secs/1e6),
+		fmtDur(agg.P50), fmtDur(agg.P95), fmtDur(agg.P99), fmtDur(agg.Max))
+	fmt.Println(t)
+	fmt.Printf("shed(503)=%d errors=%d dropped=%d\n",
+		res.shed.Load(), res.errs.Load(), res.dropped.Load())
+}
+
+// benchDoc is the BENCH_server.json schema; keep fields append-only so
+// future PRs can diff runs.
+type benchDoc struct {
+	Config struct {
+		Mode     string  `json:"mode"`
+		Rate     float64 `json:"rate_rps,omitempty"`
+		Conc     int     `json:"conc"`
+		Endpoint string  `json:"endpoint"`
+		Size     int     `json:"size"`
+		Dist     string  `json:"dist"`
+		Duration string  `json:"duration"`
+		Workers  int     `json:"workers,omitempty"`
+	} `json:"config"`
+	Totals struct {
+		OK          int64   `json:"ok"`
+		Shed        int64   `json:"shed_503"`
+		Errors      int64   `json:"errors"`
+		Dropped     int64   `json:"dropped"`
+		Throughput  float64 `json:"req_per_s"`
+		ElemPerSec  float64 `json:"elem_per_s"`
+		ElapsedSecs float64 `json:"elapsed_s"`
+	} `json:"totals"`
+	Latency       stats.HistogramSnapshot            `json:"latency"`
+	PerEndpoint   map[string]stats.HistogramSnapshot `json:"per_endpoint"`
+	ServerMetrics json.RawMessage                    `json:"server_metrics,omitempty"`
+}
+
+func writeJSON(o options, res *result, base string, client *http.Client) {
+	var doc benchDoc
+	doc.Config.Mode = "closed"
+	if o.rate > 0 {
+		doc.Config.Mode = "open"
+		doc.Config.Rate = o.rate
+	}
+	doc.Config.Conc = o.conc
+	doc.Config.Endpoint = o.endpoint
+	doc.Config.Size = o.size
+	doc.Config.Dist = o.dist
+	doc.Config.Duration = o.duration.String()
+	doc.Totals.OK = res.ok.Load()
+	doc.Totals.Shed = res.shed.Load()
+	doc.Totals.Errors = res.errs.Load()
+	doc.Totals.Dropped = res.dropped.Load()
+	doc.Totals.ElapsedSecs = res.elapsed.Seconds()
+	if doc.Totals.ElapsedSecs > 0 {
+		doc.Totals.Throughput = float64(doc.Totals.OK) / doc.Totals.ElapsedSecs
+		doc.Totals.ElemPerSec = float64(res.elems.Load()) / doc.Totals.ElapsedSecs
+	}
+	doc.Latency = res.latency.Snapshot()
+	doc.PerEndpoint = map[string]stats.HistogramSnapshot{}
+	for path, h := range res.perEndpoint {
+		doc.PerEndpoint[path] = h.Snapshot()
+	}
+	// Attach the server's own view of the run when reachable.
+	if resp, err := client.Get(base + "/metrics"); err == nil {
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		doc.ServerMetrics = raw
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatalf("marshal results: %v", err)
+	}
+	if err := os.WriteFile(o.jsonPath, append(buf, '\n'), 0o644); err != nil {
+		fatalf("write %s: %v", o.jsonPath, err)
+	}
+	fmt.Printf("wrote %s\n", o.jsonPath)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mergeload: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,7 +1,9 @@
 package mergepath_test
 
 import (
+	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -68,5 +70,27 @@ func TestPathvizE2E(t *testing.T) {
 	out := runTool(t, "./cmd/pathviz", "-a", "1,3,5", "-b", "2,4", "-p", "2")
 	if !strings.Contains(out, "Merge matrix") || !strings.Contains(out, "merged: [1 2 3 4 5]") {
 		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestMergeloadE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e tool runs are skipped in short mode")
+	}
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_server.json")
+	out := runTool(t, "./cmd/mergeload",
+		"-duration", "400ms", "-warmup", "100ms", "-conc", "4", "-size", "64",
+		"-json", jsonPath)
+	if !strings.Contains(out, "self-serving") || !strings.Contains(out, "TOTAL") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	buf, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("mergeload -json wrote nothing: %v", err)
+	}
+	for _, key := range []string{`"req_per_s"`, `"p99_ns"`, `"server_metrics"`} {
+		if !strings.Contains(string(buf), key) {
+			t.Errorf("BENCH_server.json missing %s", key)
+		}
 	}
 }

@@ -139,3 +139,19 @@ func ExampleMergeBatch() {
 	fmt.Println(pairs[0].Out, pairs[1].Out)
 	// Output: [1 3 5] [0 2 9]
 }
+
+func ExampleMergeBatchStats() {
+	pairs := []mergepath.BatchPair[int]{
+		{A: []int{1, 5}, B: []int{3}, Out: make([]int, 3)},
+		{A: []int{2}, B: []int{0, 9}, Out: make([]int, 3)},
+	}
+	loads := mergepath.MergeBatchStats(pairs, 2)
+	fmt.Println(pairs[0].Out, pairs[1].Out)
+	for w, l := range loads {
+		fmt.Printf("worker %d: %d elements, %d pairs\n", w, l.Elements, l.Pairs)
+	}
+	// Output:
+	// [1 3 5] [0 2 9]
+	// worker 0: 3 elements, 1 pairs
+	// worker 1: 3 elements, 1 pairs
+}

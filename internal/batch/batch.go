@@ -8,6 +8,17 @@
 // by a binary search over the pairs' offset table followed by an in-pair
 // diagonal search, so every worker gets total/p elements regardless of how
 // the work is distributed among pairs.
+//
+// # Stability
+//
+// Every merge in this package is stable: within a pair, equal elements
+// keep their relative order and ties between A and B resolve in favour of
+// A (the core tie policy), so each Pair's Out is bit-identical to a
+// sequential stable merge of its inputs. The global balancing cannot
+// perturb this — workers write disjoint ranges of each pair's one merge
+// path, and pairs never interleave (pair i's output goes only to pair i's
+// Out). Merge, MergeWithLoads and MergeNaive therefore produce identical
+// output for identical input.
 package batch
 
 import (
@@ -99,6 +110,66 @@ func MergeNaive[T cmp.Ordered](pairs []Pair[T], p int) {
 		}(pr)
 	}
 	wg.Wait()
+}
+
+// WorkerLoad reports what one worker of a globally balanced round did:
+// how many output elements it produced and how many distinct pairs (whole
+// or partial) it touched to produce them. The coalescing service layer
+// exports these per-round counts on its metrics surface.
+type WorkerLoad struct {
+	Elements int `json:"elements"`
+	Pairs    int `json:"pairs"`
+}
+
+// MergeWithLoads is Merge plus observability: it performs the identical
+// globally balanced round and returns one WorkerLoad per worker actually
+// used (p is clamped to the total output size, like Merge). Elements are
+// always within one of total/p; Pairs shows how pair boundaries fell
+// across workers this round.
+func MergeWithLoads[T cmp.Ordered](pairs []Pair[T], p int) []WorkerLoad {
+	if p < 1 {
+		panic("batch: worker count must be positive")
+	}
+	offsets := make([]int, len(pairs)+1)
+	for i, pr := range pairs {
+		if len(pr.Out) != len(pr.A)+len(pr.B) {
+			panic("batch: output length mismatch")
+		}
+		offsets[i+1] = offsets[i] + len(pr.Out)
+	}
+	total := offsets[len(pairs)]
+	if total == 0 {
+		return []WorkerLoad{}
+	}
+	if p > total {
+		p = total
+	}
+	loads := make([]WorkerLoad, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(w int) {
+			defer wg.Done()
+			lo := w * total / p
+			hi := (w + 1) * total / p
+			loads[w] = WorkerLoad{Elements: hi - lo, Pairs: pairsSpanned(pairs, offsets, lo, hi)}
+			mergeGlobalRange(pairs, offsets, lo, hi)
+		}(w)
+	}
+	wg.Wait()
+	return loads
+}
+
+// pairsSpanned counts pairs whose non-empty output range intersects
+// global ranks [lo, hi).
+func pairsSpanned[T cmp.Ordered](pairs []Pair[T], offsets []int, lo, hi int) int {
+	n := 0
+	for i := sort.SearchInts(offsets, lo+1) - 1; i < len(pairs) && offsets[i] < hi; i++ {
+		if offsets[i+1] > lo && offsets[i] < offsets[i+1] {
+			n++
+		}
+	}
+	return n
 }
 
 // WorkerLoads reports, for diagnostic purposes, how many output elements

@@ -126,6 +126,91 @@ func TestWorkerLoadsBalanced(t *testing.T) {
 	}
 }
 
+func TestMergeWithLoads(t *testing.T) {
+	rng := rand.New(rand.NewSource(255))
+	for trial := 0; trial < 20; trial++ {
+		pairs := makePairs(rng, 1+rng.Intn(10), 400)
+		total := 0
+		for _, pr := range pairs {
+			total += len(pr.Out)
+		}
+		p := 1 + rng.Intn(8)
+		loads := MergeWithLoads(pairs, p)
+		for i, pr := range pairs {
+			if !verify.Equal(pr.Out, verify.ReferenceMerge(pr.A, pr.B)) {
+				t.Fatalf("trial %d pair %d: wrong merge", trial, i)
+			}
+		}
+		if total == 0 {
+			if len(loads) != 0 {
+				t.Fatalf("trial %d: empty batch returned %d loads", trial, len(loads))
+			}
+			continue
+		}
+		wantP := p
+		if wantP > total {
+			wantP = total
+		}
+		if len(loads) != wantP {
+			t.Fatalf("trial %d: %d loads, want %d", trial, len(loads), wantP)
+		}
+		sum := 0
+		nonEmpty := 0
+		for _, pr := range pairs {
+			if len(pr.Out) > 0 {
+				nonEmpty++
+			}
+		}
+		pairsSum := 0
+		for w, l := range loads {
+			sum += l.Elements
+			pairsSum += l.Pairs
+			if l.Elements > total/wantP+1 || l.Elements < total/wantP {
+				t.Fatalf("trial %d worker %d: %d elements, want ~%d", trial, w, l.Elements, total/wantP)
+			}
+			if l.Elements > 0 && l.Pairs < 1 {
+				t.Fatalf("trial %d worker %d: merged %d elements across 0 pairs", trial, w, l.Elements)
+			}
+		}
+		if sum != total {
+			t.Fatalf("trial %d: elements sum %d != total %d", trial, sum, total)
+		}
+		// Each of the nonEmpty pairs is touched by >= 1 worker; a pair
+		// split across workers is counted once per worker, and a worker
+		// spans at most all pairs, so the sum is bounded both ways.
+		if pairsSum < nonEmpty || pairsSum > nonEmpty+wantP-1 {
+			t.Fatalf("trial %d: pairs sum %d outside [%d, %d]", trial, pairsSum, nonEmpty, nonEmpty+wantP-1)
+		}
+	}
+}
+
+func TestMergeWithLoadsSkewed(t *testing.T) {
+	// One giant pair among tiny ones: every worker must receive work even
+	// though most pairs are trivial — the whole point of the global split.
+	rng := rand.New(rand.NewSource(256))
+	pairs := make([]Pair[int32], 9)
+	for i := range pairs {
+		n := 4
+		if i == 4 {
+			n = 50000
+		}
+		a := workload.SortedUniform32(rng, n)
+		b := workload.SortedUniform32(rng, n)
+		pairs[i] = Pair[int32]{A: a, B: b, Out: make([]int32, 2*n)}
+	}
+	loads := MergeWithLoads(pairs, 8)
+	for w, l := range loads {
+		if l.Elements == 0 {
+			t.Errorf("worker %d idle under skew", w)
+		}
+	}
+	for i, pr := range pairs {
+		if !verify.IsMergeOf(pr.Out, pr.A, pr.B) {
+			t.Fatalf("pair %d incorrect", i)
+		}
+	}
+}
+
 func TestMergeQuick(t *testing.T) {
 	f := func(seeds []uint16, pSeed uint8) bool {
 		rng := rand.New(rand.NewSource(int64(len(seeds))))

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Wire types for the JSON endpoints. Elements are int64 on the wire —
+// the engine underneath is generic, but a service needs one concrete
+// schema, and int64 survives JSON number round-trips for the full range
+// of keys the examples (timestamps, doc ids, ranks) use in practice.
+
+// MergeRequest is the body of POST /v1/merge: two sorted arrays.
+type MergeRequest struct {
+	A []int64 `json:"a"`
+	B []int64 `json:"b"`
+}
+
+// MergeResponse carries the stable merge of A and B.
+type MergeResponse struct {
+	Result []int64 `json:"result"`
+}
+
+// SortRequest is the body of POST /v1/sort: one unsorted array.
+type SortRequest struct {
+	Data []int64 `json:"data"`
+}
+
+// SortResponse carries the sorted array.
+type SortResponse struct {
+	Result []int64 `json:"result"`
+}
+
+// MergeKRequest is the body of POST /v1/mergek: k sorted lists.
+type MergeKRequest struct {
+	Lists [][]int64 `json:"lists"`
+}
+
+// MergeKResponse carries the k-way merge (stable across lists).
+type MergeKResponse struct {
+	Result []int64 `json:"result"`
+}
+
+// SetOpsRequest is the body of POST /v1/setops. Op is one of "union",
+// "intersect", "diff"; A and B must be sorted.
+type SetOpsRequest struct {
+	Op string  `json:"op"`
+	A  []int64 `json:"a"`
+	B  []int64 `json:"b"`
+}
+
+// SetOpsResponse carries the sorted multiset result.
+type SetOpsResponse struct {
+	Result []int64 `json:"result"`
+}
+
+// SelectRequest is the body of POST /v1/select: diagonal rank selection.
+// K is an output rank in [0, len(A)+len(B)].
+type SelectRequest struct {
+	A []int64 `json:"a"`
+	B []int64 `json:"b"`
+	K int     `json:"k"`
+}
+
+// SelectResponse reports where the merge path crosses diagonal K: the
+// first K elements of the merge are A[:ARank] and B[:BRank]. Kth is the
+// K-th smallest of the union (the element at output rank K-1), present
+// when K >= 1.
+type SelectResponse struct {
+	ARank int    `json:"a_rank"`
+	BRank int    `json:"b_rank"`
+	Kth   *int64 `json:"kth,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+func checkSorted(name string, s []int64) error {
+	if !sort.SliceIsSorted(s, func(i, j int) bool { return s[i] < s[j] }) {
+		return fmt.Errorf("input %q is not sorted", name)
+	}
+	return nil
+}

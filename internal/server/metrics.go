@@ -1,0 +1,153 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mergepath/internal/batch"
+	"mergepath/internal/stats"
+)
+
+// Metrics is the daemon's observability surface, exported as JSON on
+// /metrics. All updates are atomic or mutex-scoped to the last-round
+// record; handlers and the dispatcher write concurrently.
+type Metrics struct {
+	start     time.Time
+	endpoints map[string]*endpointMetrics // fixed key set, created up front
+
+	shed     atomic.Uint64 // 503s from the full admission queue
+	timeouts atomic.Uint64 // jobs expired before or while queued
+
+	batchRounds atomic.Uint64 // coalesced rounds executed
+	batchPairs  atomic.Uint64 // small requests coalesced into those rounds
+	batchElems  atomic.Uint64 // output elements merged by those rounds
+
+	mu            sync.Mutex
+	lastRoundLoad []batch.WorkerLoad // per-worker loads of the latest round
+}
+
+type endpointMetrics struct {
+	count   atomic.Uint64
+	err4xx  atomic.Uint64
+	err5xx  atomic.Uint64
+	latency stats.Histogram // successful requests only
+}
+
+// endpointNames is the fixed metric key set; one entry per /v1 route.
+var endpointNames = []string{"merge", "sort", "mergek", "setops", "select"}
+
+// NewMetrics returns a zeroed metrics registry.
+func NewMetrics() *Metrics {
+	m := &Metrics{start: time.Now(), endpoints: make(map[string]*endpointMetrics, len(endpointNames))}
+	for _, name := range endpointNames {
+		m.endpoints[name] = &endpointMetrics{}
+	}
+	return m
+}
+
+// observe records one finished request against an endpoint. Only 2xx
+// requests contribute to the latency histogram so shed traffic cannot
+// flatter the percentiles.
+func (m *Metrics) observe(endpoint string, status int, d time.Duration) {
+	e, ok := m.endpoints[endpoint]
+	if !ok {
+		return
+	}
+	e.count.Add(1)
+	switch {
+	case status >= 500:
+		e.err5xx.Add(1)
+	case status >= 400:
+		e.err4xx.Add(1)
+	default:
+		e.latency.Observe(d)
+	}
+}
+
+func (m *Metrics) recordBatchRound(pairs, elems int, loads []batch.WorkerLoad) {
+	m.batchRounds.Add(1)
+	m.batchPairs.Add(uint64(pairs))
+	m.batchElems.Add(uint64(elems))
+	m.mu.Lock()
+	m.lastRoundLoad = loads
+	m.mu.Unlock()
+}
+
+// EndpointSnapshot is one endpoint's row in the /metrics JSON.
+type EndpointSnapshot struct {
+	Count   uint64                  `json:"count"`
+	Err4xx  uint64                  `json:"errors_4xx"`
+	Err5xx  uint64                  `json:"errors_5xx"`
+	Latency stats.HistogramSnapshot `json:"latency"`
+}
+
+// QueueSnapshot describes admission control state.
+type QueueSnapshot struct {
+	Depth    int    `json:"depth"`
+	Capacity int    `json:"capacity"`
+	Shed     uint64 `json:"shed_total"`
+	Timeouts uint64 `json:"timeouts_total"`
+}
+
+// PoolSnapshot describes the worker pool and the coalescing path.
+type PoolSnapshot struct {
+	Workers       int                `json:"workers"`
+	Utilization   float64            `json:"utilization"`
+	BusySeconds   float64            `json:"busy_seconds"`
+	BatchRounds   uint64             `json:"batch_rounds"`
+	BatchPairs    uint64             `json:"batch_pairs"`
+	BatchElems    uint64             `json:"batch_elements"`
+	PairsPerRound float64            `json:"pairs_per_round"`
+	LastRoundLoad []batch.WorkerLoad `json:"last_round_loads,omitempty"`
+}
+
+// MetricsSnapshot is the /metrics JSON document.
+type MetricsSnapshot struct {
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	Queue         QueueSnapshot               `json:"queue"`
+	Pool          PoolSnapshot                `json:"pool"`
+	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+}
+
+// snapshot assembles the exported document. p supplies live queue/worker
+// state (nil-safe for tests that only exercise counters).
+func (m *Metrics) snapshot(p *pool) MetricsSnapshot {
+	s := MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Queue: QueueSnapshot{
+			Shed:     m.shed.Load(),
+			Timeouts: m.timeouts.Load(),
+		},
+		Pool: PoolSnapshot{
+			BatchRounds: m.batchRounds.Load(),
+			BatchPairs:  m.batchPairs.Load(),
+			BatchElems:  m.batchElems.Load(),
+		},
+		Endpoints: make(map[string]EndpointSnapshot, len(m.endpoints)),
+	}
+	if rounds := s.Pool.BatchRounds; rounds > 0 {
+		s.Pool.PairsPerRound = float64(s.Pool.BatchPairs) / float64(rounds)
+	}
+	if p != nil {
+		s.Queue.Depth = p.depth()
+		s.Queue.Capacity = cap(p.queue)
+		s.Pool.Workers = p.workers
+		s.Pool.BusySeconds = time.Duration(p.busyNanos.Load()).Seconds()
+		if up := s.UptimeSeconds; up > 0 {
+			s.Pool.Utilization = s.Pool.BusySeconds / up
+		}
+	}
+	m.mu.Lock()
+	s.Pool.LastRoundLoad = append([]batch.WorkerLoad(nil), m.lastRoundLoad...)
+	m.mu.Unlock()
+	for name, e := range m.endpoints {
+		s.Endpoints[name] = EndpointSnapshot{
+			Count:   e.count.Load(),
+			Err4xx:  e.err4xx.Load(),
+			Err5xx:  e.err5xx.Load(),
+			Latency: e.latency.Snapshot(),
+		}
+	}
+	return s
+}

@@ -1,0 +1,229 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mergepath/internal/batch"
+)
+
+// Admission-control errors, mapped to HTTP codes by the handlers.
+var (
+	// ErrQueueFull means the bounded admission queue rejected the job —
+	// the daemon sheds load with 503 instead of queueing unboundedly.
+	ErrQueueFull = errors.New("server: admission queue full")
+	// ErrDraining means the daemon is shutting down and admits no new work.
+	ErrDraining = errors.New("server: draining, not accepting work")
+	// ErrDeadline means the job's deadline expired before it ran.
+	ErrDeadline = errors.New("server: deadline exceeded before execution")
+)
+
+// job is one unit of admitted work. Exactly one of pair/run is set:
+// pair jobs are small merges the dispatcher coalesces into one globally
+// load-balanced batch.Merge round; run jobs (large merges, sorts, k-way
+// merges, set operations) take the whole pool for one round.
+type job struct {
+	pair     *batch.Pair[int64]
+	run      func(workers int)
+	deadline time.Time
+	done     chan error // buffered(1): the dispatcher never blocks on it
+}
+
+// pool multiplexes all in-flight requests onto one fixed set of workers.
+//
+// Architecture: a bounded queue (admission control) feeds a single
+// dispatcher goroutine that executes *rounds*. Small merges accumulate
+// for up to cfg.BatchWindow (or cfg.BatchElements output elements) and
+// then run as ONE batch.MergeWithLoads round — p workers split the
+// combined output of every coalesced request evenly, so a burst of skewed
+// little requests cannot starve any worker (the paper's load-balance
+// argument applied across requests instead of within one). Everything
+// else runs as its own round via the job's run closure with all workers.
+// One round executes at a time; each round engages every worker; the
+// goroutine count is bounded by workers+1 regardless of offered load.
+type pool struct {
+	workers int
+	queue   chan *job
+	// mu serializes admissions against shutdown: submit holds the read
+	// side while sending, close holds the write side while setting
+	// draining and closing the queue, so a send can never hit a closed
+	// channel.
+	mu       sync.RWMutex
+	draining bool
+	stopped  chan struct{} // closed when the dispatcher exits
+
+	window       time.Duration
+	batchElems   int
+	m            *Metrics
+	busyNanos    atomic.Int64 // time spent executing rounds
+	queueDepth   atomic.Int64
+	flushPending func([]*job) // test hook; nil in production
+}
+
+func newPool(workers, queueDepth int, window time.Duration, batchElems int, m *Metrics) *pool {
+	p := &pool{
+		workers:    workers,
+		queue:      make(chan *job, queueDepth),
+		stopped:    make(chan struct{}),
+		window:     window,
+		batchElems: batchElems,
+		m:          m,
+	}
+	go p.dispatch()
+	return p
+}
+
+// submit admits a job or rejects it immediately (never blocks): the
+// admission queue is a fixed-capacity channel and a full channel is a
+// shed, not a wait.
+func (p *pool) submit(j *job) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.draining {
+		return ErrDraining
+	}
+	select {
+	case p.queue <- j:
+		p.queueDepth.Add(1)
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// do submits the job and waits for completion or ctx expiry. On ctx
+// expiry the job still executes eventually (its slice results are simply
+// discarded); the dispatcher independently skips jobs whose deadline has
+// already passed so abandoned work is usually dropped, not done.
+func (p *pool) do(ctx context.Context, j *job) error {
+	if dl, ok := ctx.Deadline(); ok {
+		j.deadline = dl
+	}
+	if err := p.submit(j); err != nil {
+		return err
+	}
+	select {
+	case err := <-j.done:
+		return err
+	case <-ctx.Done():
+		return ErrDeadline
+	}
+}
+
+// dispatch is the round loop. It owns `pending` (coalesced small merges)
+// entirely — no other goroutine touches it — so the only synchronization
+// in the whole engine is the queue channel and the per-job done channels.
+func (p *pool) dispatch() {
+	defer close(p.stopped)
+	var (
+		pending      []*job
+		pendingElems int
+		timer        *time.Timer
+		timerC       <-chan time.Time
+	)
+	stopTimer := func() {
+		if timer != nil {
+			timer.Stop()
+			timer = nil
+			timerC = nil
+		}
+	}
+	flush := func() {
+		stopTimer()
+		if len(pending) == 0 {
+			return
+		}
+		p.runBatch(pending)
+		pending = pending[:0]
+		pendingElems = 0
+	}
+	handle := func(j *job) {
+		p.queueDepth.Add(-1)
+		// Expired while queued: drop it unexecuted. The handler (or its
+		// abandoned ctx wait) accounts the timeout; doing it here too
+		// would double count.
+		if !j.deadline.IsZero() && time.Now().After(j.deadline) {
+			j.done <- ErrDeadline
+			return
+		}
+		if j.pair != nil {
+			pending = append(pending, j)
+			pendingElems += len(j.pair.Out)
+			if pendingElems >= p.batchElems {
+				flush()
+			} else if timer == nil {
+				timer = time.NewTimer(p.window)
+				timerC = timer.C
+			}
+			return
+		}
+		// A run job forms its own round. Flush first so earlier small
+		// requests aren't held hostage behind a big one.
+		flush()
+		start := time.Now()
+		j.run(p.workers)
+		p.busyNanos.Add(time.Since(start).Nanoseconds())
+		j.done <- nil
+	}
+	for {
+		select {
+		case j, ok := <-p.queue:
+			if !ok {
+				flush()
+				return
+			}
+			handle(j)
+		case <-timerC:
+			flush()
+		}
+	}
+}
+
+// runBatch executes one coalesced round: every pending pair merged by one
+// globally balanced batch round, all workers splitting the combined
+// output evenly.
+func (p *pool) runBatch(jobs []*job) {
+	if p.flushPending != nil {
+		p.flushPending(jobs)
+	}
+	pairs := make([]batch.Pair[int64], len(jobs))
+	elems := 0
+	for i, j := range jobs {
+		pairs[i] = *j.pair
+		elems += len(j.pair.Out)
+	}
+	start := time.Now()
+	loads := batch.MergeWithLoads(pairs, p.workers)
+	p.busyNanos.Add(time.Since(start).Nanoseconds())
+	if p.m != nil {
+		p.m.recordBatchRound(len(pairs), elems, loads)
+	}
+	for _, j := range jobs {
+		j.done <- nil
+	}
+}
+
+// depth reports the current admission-queue depth.
+func (p *pool) depth() int { return int(p.queueDepth.Load()) }
+
+// close stops admissions, drains every queued job, and waits (up to ctx)
+// for the dispatcher to finish in-flight rounds. Safe to call more than
+// once.
+func (p *pool) close(ctx context.Context) error {
+	p.mu.Lock()
+	already := p.draining
+	p.draining = true
+	if !already {
+		close(p.queue) // no submit can be in flight: they hold mu.RLock
+	}
+	p.mu.Unlock()
+	select {
+	case <-p.stopped:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,346 @@
+// Package server is the mergepath service layer: an HTTP/JSON daemon that
+// multiplexes many concurrent merge/sort/k-way/set-algebra requests onto
+// one fixed worker pool.
+//
+// The paper's Algorithm 1 balances ONE merge across p workers; a service
+// sees the dual problem — thousands of small independent requests whose
+// sizes are skewed and bursty. Both collapse to the same primitive: the
+// dispatcher coalesces concurrent small merges into a single globally
+// load-balanced batch round (internal/batch), and partitions large
+// requests across the whole pool (internal/core), so worker load is even
+// regardless of the request mix. Admission control is a bounded queue:
+// when it is full the daemon sheds with 503 instead of accumulating
+// goroutines, and per-request deadlines bound queue wait. /metrics
+// exports request counters, queue depth, worker utilization, per-round
+// batch loads, and p50/p95/p99 latency histograms.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"mergepath/internal/batch"
+	"mergepath/internal/core"
+	"mergepath/internal/kway"
+	"mergepath/internal/psort"
+	"mergepath/internal/setops"
+)
+
+// Config shapes the daemon. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the pool size; every round engages all of them.
+	// Default GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the admission queue; a full queue sheds with
+	// 503. Default 256.
+	QueueDepth int
+	// BatchWindow is how long a small merge may wait for company before
+	// its coalesced round is flushed. Default 500µs.
+	BatchWindow time.Duration
+	// BatchElements flushes a coalesced round early once its combined
+	// output reaches this many elements. Default 1<<20.
+	BatchElements int
+	// CoalesceLimit is the largest merge output (elements) that takes
+	// the coalescing path; bigger requests are partitioned across the
+	// pool as their own round. Default 1<<16.
+	CoalesceLimit int
+	// MaxBodyBytes caps request bodies; beyond it the daemon answers
+	// 413. Default 8 MiB.
+	MaxBodyBytes int64
+	// RequestTimeout is the default per-request deadline covering queue
+	// wait plus execution; clients may lower (not raise) it per request
+	// with an X-Timeout-Ms header. Timed-out requests get 504.
+	// Default 5s.
+	RequestTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 500 * time.Microsecond
+	}
+	if c.BatchElements <= 0 {
+		c.BatchElements = 1 << 20
+	}
+	if c.CoalesceLimit <= 0 {
+		c.CoalesceLimit = 1 << 16
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// Server is the service. It is an http.Handler; pair it with an
+// http.Server (or httptest) for transport.
+type Server struct {
+	cfg      Config
+	m        *Metrics
+	pool     *pool
+	mux      *http.ServeMux
+	draining atomic.Bool
+}
+
+// New starts a Server (its dispatcher runs immediately). Call Drain to
+// stop it.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, m: NewMetrics(), mux: http.NewServeMux()}
+	s.pool = newPool(cfg.Workers, cfg.QueueDepth, cfg.BatchWindow, cfg.BatchElements, s.m)
+	s.mux.HandleFunc("POST /v1/merge", s.route("merge", s.handleMerge))
+	s.mux.HandleFunc("POST /v1/sort", s.route("sort", s.handleSort))
+	s.mux.HandleFunc("POST /v1/mergek", s.route("mergek", s.handleMergeK))
+	s.mux.HandleFunc("POST /v1/setops", s.route("setops", s.handleSetOps))
+	s.mux.HandleFunc("POST /v1/select", s.route("select", s.handleSelect))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Metrics exposes the registry (the daemon logs a summary on exit).
+func (s *Server) Metrics() *Metrics { return s.m }
+
+// Snapshot returns the current /metrics document.
+func (s *Server) Snapshot() MetricsSnapshot { return s.m.snapshot(s.pool) }
+
+// Workers reports the configured pool size.
+func (s *Server) Workers() int { return s.cfg.Workers }
+
+// Drain gracefully shuts the service down: new work is refused with 503
+// while everything already admitted — queued jobs and the round in
+// flight — completes. Returns when the dispatcher has exited or ctx
+// expires. Call after http.Server.Shutdown so in-flight handlers have
+// already received their responses.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.pool.close(ctx)
+}
+
+// route wraps an endpoint handler with the shared envelope: JSON
+// response encoding, and per-endpoint count/latency metrics.
+func (s *Server) route(endpoint string, h func(*http.Request) (int, any)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		status, body := h(r)
+		s.m.observe(endpoint, status, time.Since(start))
+		w.Header().Set("Content-Type", "application/json")
+		if status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", "1")
+		}
+		w.WriteHeader(status)
+		_ = json.NewEncoder(w).Encode(body)
+	}
+}
+
+// decode parses the body, distinguishing oversized (413) from malformed
+// (400). A nil error return means req is populated.
+func decode(r *http.Request, req any) (int, error) {
+	err := json.NewDecoder(r.Body).Decode(req)
+	if err == nil {
+		return http.StatusOK, nil
+	}
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return http.StatusRequestEntityTooLarge, errors.New("request body exceeds limit")
+	}
+	return http.StatusBadRequest, err
+}
+
+// requestCtx applies the effective deadline: the configured default, or
+// a smaller client-requested X-Timeout-Ms.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.RequestTimeout
+	if h := r.Header.Get("X-Timeout-Ms"); h != "" {
+		if ms, err := strconv.Atoi(h); err == nil && ms > 0 {
+			if d := time.Duration(ms) * time.Millisecond; d < timeout {
+				timeout = d
+			}
+		}
+	}
+	return context.WithTimeout(r.Context(), timeout)
+}
+
+// execute runs a job through admission control and maps pool errors to
+// HTTP status codes. Returns 0 on success.
+func (s *Server) execute(r *http.Request, j *job) (int, error) {
+	if s.draining.Load() {
+		return http.StatusServiceUnavailable, ErrDraining
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	err := s.pool.do(ctx, j)
+	switch {
+	case err == nil:
+		return 0, nil
+	case errors.Is(err, ErrQueueFull):
+		s.m.shed.Add(1)
+		return http.StatusServiceUnavailable, err
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable, err
+	case errors.Is(err, ErrDeadline):
+		s.m.timeouts.Add(1)
+		return http.StatusGatewayTimeout, err
+	default:
+		return http.StatusInternalServerError, err
+	}
+}
+
+func errBody(err error) ErrorResponse { return ErrorResponse{Error: err.Error()} }
+
+func (s *Server) handleMerge(r *http.Request) (int, any) {
+	var req MergeRequest
+	if status, err := decode(r, &req); err != nil {
+		return status, errBody(err)
+	}
+	if err := checkSorted("a", req.A); err != nil {
+		return http.StatusBadRequest, errBody(err)
+	}
+	if err := checkSorted("b", req.B); err != nil {
+		return http.StatusBadRequest, errBody(err)
+	}
+	out := make([]int64, len(req.A)+len(req.B))
+	j := &job{done: make(chan error, 1)}
+	if len(out) <= s.cfg.CoalesceLimit {
+		j.pair = &batch.Pair[int64]{A: req.A, B: req.B, Out: out}
+	} else {
+		a, b := req.A, req.B
+		j.run = func(workers int) { core.ParallelMerge(a, b, out, workers) }
+	}
+	if status, err := s.execute(r, j); err != nil {
+		return status, errBody(err)
+	}
+	return http.StatusOK, MergeResponse{Result: out}
+}
+
+func (s *Server) handleSort(r *http.Request) (int, any) {
+	var req SortRequest
+	if status, err := decode(r, &req); err != nil {
+		return status, errBody(err)
+	}
+	data := req.Data
+	j := &job{done: make(chan error, 1), run: func(workers int) { psort.Sort(data, workers) }}
+	if status, err := s.execute(r, j); err != nil {
+		return status, errBody(err)
+	}
+	return http.StatusOK, SortResponse{Result: data}
+}
+
+func (s *Server) handleMergeK(r *http.Request) (int, any) {
+	var req MergeKRequest
+	if status, err := decode(r, &req); err != nil {
+		return status, errBody(err)
+	}
+	for i, list := range req.Lists {
+		if err := checkSorted("lists["+strconv.Itoa(i)+"]", list); err != nil {
+			return http.StatusBadRequest, errBody(err)
+		}
+	}
+	var result []int64
+	lists := req.Lists
+	j := &job{done: make(chan error, 1), run: func(workers int) { result = kway.Merge(lists, workers) }}
+	if status, err := s.execute(r, j); err != nil {
+		return status, errBody(err)
+	}
+	return http.StatusOK, MergeKResponse{Result: result}
+}
+
+func (s *Server) handleSetOps(r *http.Request) (int, any) {
+	var req SetOpsRequest
+	if status, err := decode(r, &req); err != nil {
+		return status, errBody(err)
+	}
+	var op func(a, b []int64, p int) []int64
+	switch req.Op {
+	case "union":
+		op = setops.Union[int64]
+	case "intersect":
+		op = setops.Intersect[int64]
+	case "diff":
+		op = setops.Diff[int64]
+	default:
+		return http.StatusBadRequest, errBody(errors.New(`op must be "union", "intersect" or "diff"`))
+	}
+	if err := checkSorted("a", req.A); err != nil {
+		return http.StatusBadRequest, errBody(err)
+	}
+	if err := checkSorted("b", req.B); err != nil {
+		return http.StatusBadRequest, errBody(err)
+	}
+	var result []int64
+	a, b := req.A, req.B
+	j := &job{done: make(chan error, 1), run: func(workers int) { result = op(a, b, workers) }}
+	if status, err := s.execute(r, j); err != nil {
+		return status, errBody(err)
+	}
+	return http.StatusOK, SetOpsResponse{Result: result}
+}
+
+// handleSelect answers diagonal rank selection inline: a pair of binary
+// searches is far cheaper than a trip through the queue, and keeping it
+// off the pool means rank probes stay fast even when merges are shedding.
+func (s *Server) handleSelect(r *http.Request) (int, any) {
+	var req SelectRequest
+	if status, err := decode(r, &req); err != nil {
+		return status, errBody(err)
+	}
+	if err := checkSorted("a", req.A); err != nil {
+		return http.StatusBadRequest, errBody(err)
+	}
+	if err := checkSorted("b", req.B); err != nil {
+		return http.StatusBadRequest, errBody(err)
+	}
+	if req.K < 0 || req.K > len(req.A)+len(req.B) {
+		return http.StatusBadRequest, errBody(errors.New("k out of range [0, len(a)+len(b)]"))
+	}
+	pt := core.SearchDiagonal(req.A, req.B, req.K)
+	resp := SelectResponse{ARank: pt.A, BRank: pt.B}
+	if req.K >= 1 {
+		// The K-th smallest is the last element consumed before the
+		// crossing: the larger of the two candidates behind the point.
+		var kth int64
+		switch {
+		case pt.A == 0:
+			kth = req.B[pt.B-1]
+		case pt.B == 0:
+			kth = req.A[pt.A-1]
+		default:
+			kth = max(req.A[pt.A-1], req.B[pt.B-1])
+		}
+		resp.Kth = &kth
+	}
+	return http.StatusOK, resp
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": "draining"})
+		return
+	}
+	_ = json.NewEncoder(w).Encode(map[string]any{"status": "ok", "workers": s.cfg.Workers})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.m.snapshot(s.pool))
+}

@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Percentile returns the q-th quantile (0 <= q <= 1) of the sample using
+// linear interpolation between closest ranks — the same estimator as
+// numpy's default. Percentile(0.5) agrees with Median on odd sample sizes
+// and on even sizes interpolates the middle pair identically.
+func (s Sample) Percentile(q float64) time.Duration {
+	n := len(s.Durations)
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	d := append([]time.Duration(nil), s.Durations...)
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+	if n == 1 {
+		return d[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return d[lo]
+	}
+	frac := pos - float64(lo)
+	return d[lo] + time.Duration(frac*float64(d[hi]-d[lo]))
+}
+
+// P50 is the interpolated median.
+func (s Sample) P50() time.Duration { return s.Percentile(0.50) }
+
+// P95 returns the 95th percentile.
+func (s Sample) P95() time.Duration { return s.Percentile(0.95) }
+
+// P99 returns the 99th percentile.
+func (s Sample) P99() time.Duration { return s.Percentile(0.99) }
+
+// Histogram bucket geometry: durations are bucketed on a log scale with
+// histSub sub-buckets per power-of-two octave, so any recorded quantile is
+// within 1/histSub relative error of the true value while the whole
+// structure is a fixed array of counters — O(1) memory no matter how many
+// observations stream through, and wait-free to update.
+const (
+	histSub     = 16 // sub-buckets per octave: <= 6.25% relative error
+	histOctaves = 40 // 1ns .. ~73min; beyond the last octave clamps
+	histBuckets = histSub * histOctaves
+)
+
+// Histogram is a streaming latency histogram safe for concurrent Observe
+// from any number of goroutines (every update is a single atomic add).
+// The zero value is ready to use. Reads (Quantile, Snapshot) are
+// lock-free too and see some consistent-enough recent state; exact
+// linearizability is not needed for monitoring.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64 // nanoseconds
+	max    atomic.Int64 // nanoseconds
+}
+
+// bucketIndex maps a duration to its bucket. Negative durations land in
+// bucket 0; durations beyond the top octave clamp to the last bucket.
+func bucketIndex(d time.Duration) int {
+	if d < 0 {
+		d = 0
+	}
+	ns := uint64(d.Nanoseconds())
+	if ns < histSub {
+		// First octaves are exact: one bucket per nanosecond until the
+		// log scale has histSub values per octave to work with.
+		return int(ns)
+	}
+	exp := bits.Len64(ns) - 1 // floor(log2 ns), >= log2(histSub)
+	// Position within the octave, scaled to histSub sub-buckets.
+	sub := int((ns - 1<<exp) >> (uint(exp) - log2HistSub))
+	idx := (exp-log2HistSub+1)*histSub + sub
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+const log2HistSub = 4 // log2(histSub)
+
+// bucketLower returns the smallest duration mapped to bucket idx — the
+// conservative (lower-bound) representative value used when reading
+// quantiles back out.
+func bucketLower(idx int) time.Duration {
+	if idx < histSub {
+		return time.Duration(idx)
+	}
+	exp := idx/histSub - 1 + log2HistSub
+	sub := idx % histSub
+	return time.Duration(1<<uint(exp) + uint64(sub)<<(uint(exp)-log2HistSub))
+}
+
+// Observe records one duration. Negative durations (clock steps) are
+// clamped to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(d.Nanoseconds())
+	for {
+		cur := h.max.Load()
+		if d.Nanoseconds() <= cur || h.max.CompareAndSwap(cur, d.Nanoseconds()) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Mean returns the arithmetic mean of all observations.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(uint64(h.sum.Load()) / n)
+}
+
+// Max returns the largest observation (exact, not bucketed).
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of the recorded
+// distribution, accurate to the bucket geometry (<= 1/histSub relative
+// error). Returns 0 when nothing has been observed.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target observation, 1-based, nearest-rank estimator.
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return bucketLower(i)
+		}
+	}
+	return bucketLower(histBuckets - 1)
+}
+
+// HistogramSnapshot is a point-in-time JSON-friendly summary.
+type HistogramSnapshot struct {
+	Count  uint64        `json:"count"`
+	Mean   time.Duration `json:"mean_ns"`
+	P50    time.Duration `json:"p50_ns"`
+	P95    time.Duration `json:"p95_ns"`
+	P99    time.Duration `json:"p99_ns"`
+	Max    time.Duration `json:"max_ns"`
+	MeanMS float64       `json:"mean_ms"`
+	P50MS  float64       `json:"p50_ms"`
+	P95MS  float64       `json:"p95_ms"`
+	P99MS  float64       `json:"p99_ms"`
+}
+
+// Snapshot captures count, mean, p50/p95/p99 and max in one read pass.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	s := HistogramSnapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+	s.MeanMS, s.P50MS, s.P95MS, s.P99MS = ms(s.Mean), ms(s.P50), ms(s.P95), ms(s.P99)
+	return s
+}

@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPercentileKnownValues(t *testing.T) {
+	// 1..100 ns: the q-th percentile under linear interpolation of
+	// closest ranks is 1 + 99q exactly.
+	s := Sample{}
+	for i := 1; i <= 100; i++ {
+		s.Durations = append(s.Durations, time.Duration(i))
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0, 1}, {1, 100}, {0.5, time.Duration(math.Round(1 + 99*0.5))},
+		{0.95, time.Duration(math.Round(1 + 99*0.95))},
+		{0.99, time.Duration(math.Round(1 + 99*0.99))},
+	}
+	for _, c := range cases {
+		got := s.Percentile(c.q)
+		if got < c.want-1 || got > c.want+1 { // interpolation truncation slack
+			t.Errorf("Percentile(%v) = %v, want ~%v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestPercentileMatchesMedian(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 10, 11} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		s := Sample{}
+		for i := 0; i < n; i++ {
+			s.Durations = append(s.Durations, time.Duration(rng.Intn(1000)))
+		}
+		if got, want := s.Percentile(0.5), s.Median(); got != want {
+			t.Errorf("n=%d: Percentile(0.5)=%v != Median()=%v", n, got, want)
+		}
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	if got := (Sample{}).Percentile(0.5); got != 0 {
+		t.Errorf("empty sample: got %v, want 0", got)
+	}
+	one := Sample{Durations: []time.Duration{42}}
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := one.Percentile(q); got != 42 {
+			t.Errorf("single sample Percentile(%v) = %v, want 42", q, got)
+		}
+	}
+	if got := one.P95(); got != 42 {
+		t.Errorf("P95 = %v, want 42", got)
+	}
+}
+
+// TestHistogramUniform checks quantiles of a uniform distribution stay
+// within the documented bucket error (1/16 relative) plus nearest-rank
+// granularity.
+func TestHistogramUniform(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(7))
+	const n = 200000
+	const limit = 1_000_000 // 1ms in ns
+	for i := 0; i < n; i++ {
+		h.Observe(time.Duration(rng.Int63n(limit)))
+	}
+	if h.Count() != n {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+	for _, q := range []float64{0.10, 0.50, 0.90, 0.95, 0.99} {
+		got := float64(h.Quantile(q))
+		want := q * limit
+		// Bucket lower bound under-reports by at most one sub-bucket
+		// (6.25%); sampling noise adds a little more.
+		if got < want*0.85 || got > want*1.05 {
+			t.Errorf("Quantile(%v) = %v, want within [0.85,1.05]x of %v", q, got, want)
+		}
+	}
+	if mean := float64(h.Mean()); mean < 0.45*limit || mean > 0.55*limit {
+		t.Errorf("Mean = %v, want ~%v", mean, limit/2)
+	}
+}
+
+// TestHistogramExponential checks a heavy-tailed distribution: the p99
+// must sit far above the median and match the analytic quantile
+// -ln(1-q)*scale within bucket+noise tolerance.
+func TestHistogramExponential(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(11))
+	const n = 200000
+	const scale = 100_000 // ns
+	for i := 0; i < n; i++ {
+		h.Observe(time.Duration(rng.ExpFloat64() * scale))
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		got := float64(h.Quantile(q))
+		want := -math.Log(1-q) * scale
+		if got < want*0.85 || got > want*1.10 {
+			t.Errorf("Quantile(%v) = %v, want ~%v", q, got, want)
+		}
+	}
+	if p50, p99 := h.Quantile(0.5), h.Quantile(0.99); p99 < 5*p50 {
+		t.Errorf("exponential tail lost: p50=%v p99=%v", p50, p99)
+	}
+}
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	// Durations below histSub ns are bucketed exactly.
+	var h Histogram
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Duration(i))
+	}
+	if got := h.Quantile(0.0); got != 0 {
+		t.Errorf("Quantile(0) = %v, want 0", got)
+	}
+	if got := h.Quantile(1.0); got != 9 {
+		t.Errorf("Quantile(1) = %v, want 9", got)
+	}
+	if got := h.Max(); got != 9 {
+		t.Errorf("Max = %v, want 9", got)
+	}
+}
+
+func TestHistogramBucketMonotone(t *testing.T) {
+	// bucketIndex must be monotone and bucketLower must invert it to the
+	// bucket's lower edge for a sweep of magnitudes.
+	prev := -1
+	for _, ns := range []int64{0, 1, 15, 16, 17, 31, 32, 100, 1000, 1 << 20, 1 << 30, 1 << 40, 1 << 45} {
+		idx := bucketIndex(time.Duration(ns))
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", ns, idx, prev)
+		}
+		prev = idx
+		if lower := bucketLower(idx); lower > time.Duration(ns) {
+			t.Errorf("bucketLower(%d) = %v > observed %dns", idx, lower, ns)
+		}
+	}
+	if bucketIndex(-5*time.Second) != 0 {
+		t.Error("negative duration must map to bucket 0")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const workers, per = 8, 10000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(rng.Int63n(1 << 20)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	snap := h.Snapshot()
+	if snap.Count != workers*per || snap.P50 == 0 || snap.P99 < snap.P50 {
+		t.Errorf("bad snapshot: %+v", snap)
+	}
+}

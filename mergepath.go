@@ -206,3 +206,19 @@ func MergeBatch[T cmp.Ordered](pairs []BatchPair[T], p int) {
 	}
 	batch.Merge(conv, p)
 }
+
+// BatchWorkerLoad reports one worker's share of a MergeBatchStats round:
+// output elements produced and distinct pairs touched. Elements are
+// always within one of total/p — the balance guarantee the service layer
+// exports per round on its /metrics surface.
+type BatchWorkerLoad = batch.WorkerLoad
+
+// MergeBatchStats is MergeBatch plus observability: the identical
+// globally balanced round, returning one BatchWorkerLoad per worker used.
+func MergeBatchStats[T cmp.Ordered](pairs []BatchPair[T], p int) []BatchWorkerLoad {
+	conv := make([]batch.Pair[T], len(pairs))
+	for i, pr := range pairs {
+		conv[i] = batch.Pair[T]{A: pr.A, B: pr.B, Out: pr.Out}
+	}
+	return batch.MergeWithLoads(conv, p)
+}

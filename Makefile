@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench experiments fmt serve loadtest
+.PHONY: all build vet test race verify cover bench experiments fmt serve loadtest chaos
 
 all: build vet test
 
@@ -15,10 +15,15 @@ vet:
 test:
 	$(GO) test ./...
 
-race:
+race: vet
 	$(GO) test -race ./internal/core ./internal/psort ./internal/spm \
 		./internal/kway ./internal/setops ./internal/sched ./internal/baseline \
-		./internal/server ./internal/batch ./internal/stats
+		./internal/server ./internal/batch ./internal/stats ./internal/fault
+
+# Full pre-merge gate: build, vet, unit tests, race suite (which includes
+# the fault-injection lifecycle tests in internal/server and
+# internal/fault), and a chaos pass against a live in-process daemon.
+verify: build vet test race chaos
 
 cover:
 	$(GO) test -cover ./...
@@ -44,3 +49,9 @@ serve:
 # the service-throughput benchmark artifact tracked across PRs.
 loadtest:
 	$(GO) run ./cmd/mergeload -duration 5s -conc 16 -dist skew -json BENCH_server.json
+
+# Chaos pass: full load run with fault injection (panics, errors, latency)
+# against an in-process daemon; fails if the daemon dies or no panic was
+# actually recovered.
+chaos:
+	$(GO) run ./cmd/mergeload -chaos -duration 3s -conc 16 -dist skew

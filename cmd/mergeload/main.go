@@ -14,6 +14,13 @@
 //	mergeload -duration 5s -conc 16 -size 256 -dist skew
 //	mergeload -url http://localhost:8080 -rate 2000 -endpoint mergek
 //	mergeload -json BENCH_server.json
+//	mergeload -chaos -duration 3s            # self-serve with fault injection
+//
+// -chaos runs the self-served daemon with the fault injector enabled
+// (panics, errors and latency on every op) and verifies at the end that
+// the daemon survived: /healthz still answers 200 and /metrics shows the
+// recovered-panic count. It exits nonzero if the daemon died — the
+// executable form of the panic-isolation guarantee.
 package main
 
 import (
@@ -30,25 +37,33 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mergepath/internal/fault"
 	"mergepath/internal/harness"
 	"mergepath/internal/server"
 	"mergepath/internal/stats"
 )
 
 type options struct {
-	url      string
-	duration time.Duration
-	warmup   time.Duration
-	conc     int
-	rate     float64
-	endpoint string
-	size     int
-	dist     string
-	seed     int64
-	jsonPath string
-	workers  int
-	queue    int
+	url       string
+	duration  time.Duration
+	warmup    time.Duration
+	conc      int
+	rate      float64
+	endpoint  string
+	size      int
+	dist      string
+	seed      int64
+	jsonPath  string
+	workers   int
+	queue     int
+	chaos     bool
+	chaosSpec string
 }
+
+// defaultChaosSpec is the -chaos fault mix: enough panics and errors to
+// exercise every recovery path, with latency jitter to shake the batch
+// window, while most requests still succeed.
+const defaultChaosSpec = "*:panic=0.02,error=0.02,latency=1ms@0.2"
 
 // canned is a pre-marshalled request body (generation must not sit on
 // the measured path).
@@ -72,12 +87,27 @@ func main() {
 	flag.StringVar(&o.jsonPath, "json", "", "write machine-readable results to this file")
 	flag.IntVar(&o.workers, "workers", 0, "self-serve: pool size (0 = GOMAXPROCS)")
 	flag.IntVar(&o.queue, "queue", 256, "self-serve: admission queue depth")
+	flag.BoolVar(&o.chaos, "chaos", false, "self-serve with fault injection, verify the daemon survives")
+	flag.StringVar(&o.chaosSpec, "chaos-spec", defaultChaosSpec, "fault spec used by -chaos")
 	flag.Parse()
+
+	if o.chaos && o.url != "" {
+		fatalf("-chaos needs the in-process self-served daemon; drop -url (or start mergepathd with -fault instead)")
+	}
 
 	var srv *server.Server
 	base := o.url
 	if base == "" {
-		srv = server.New(server.Config{Workers: o.workers, QueueDepth: o.queue})
+		cfg := server.Config{Workers: o.workers, QueueDepth: o.queue}
+		if o.chaos {
+			inj, err := fault.Parse(o.chaosSpec, o.seed)
+			if err != nil {
+				fatalf("-chaos-spec: %v", err)
+			}
+			cfg.Fault = inj
+			fmt.Printf("chaos mode: injecting %q\n", o.chaosSpec)
+		}
+		srv = server.New(cfg)
 		ts := httptest.NewServer(srv)
 		defer ts.Close()
 		base = ts.URL
@@ -94,12 +124,40 @@ func main() {
 	if o.jsonPath != "" {
 		writeJSON(o, res, base, client)
 	}
+	if o.chaos {
+		verifyChaos(srv, base, client, res)
+	}
+}
+
+// verifyChaos is the pass/fail gate of -chaos: after a full run under
+// fault injection the daemon must still be alive and must have actually
+// recovered panics (a chaos run where nothing fired proves nothing).
+func verifyChaos(srv *server.Server, base string, client *http.Client, res *result) {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		fatalf("chaos: daemon unreachable after run: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatalf("chaos: healthz = %d after run, daemon did not survive", resp.StatusCode)
+	}
+	snap := srv.Snapshot()
+	fmt.Printf("chaos: daemon survived; panics_recovered=%d canceled=%d shed_at_flush=%d faulted_5xx=%d\n",
+		snap.Pool.PanicsRecovered, snap.Queue.Canceled, snap.Queue.ShedAtFlush, res.faulted.Load())
+	if snap.Pool.PanicsRecovered == 0 {
+		fatalf("chaos: no panics were injected+recovered; raise -duration or the spec's panic probability")
+	}
+	if res.ok.Load() == 0 {
+		fatalf("chaos: no request succeeded")
+	}
 }
 
 // result aggregates one run.
 type result struct {
 	elapsed        time.Duration
 	ok, shed, errs atomic.Int64
+	faulted        atomic.Int64 // 5xx from injected faults (chaos mode)
 	elems          atomic.Int64 // output elements across ok requests
 	dropped        atomic.Int64 // open loop: arrivals skipped, all slots busy
 	latency        stats.Histogram
@@ -225,6 +283,10 @@ func run(base string, client *http.Client, reqs []canned, d time.Duration, o opt
 			okCount.Add(1)
 		case resp.StatusCode == http.StatusServiceUnavailable:
 			res.shed.Add(1)
+		case o.chaos && resp.StatusCode >= http.StatusInternalServerError:
+			// Chaos mode injects 500s on purpose; count them apart from
+			// real errors so the summary distinguishes havoc from bugs.
+			res.faulted.Add(1)
 		default:
 			res.errs.Add(1)
 		}
@@ -311,8 +373,8 @@ func printTable(o options, res *result) {
 		fmt.Sprintf("%.2f", float64(res.elems.Load())/secs/1e6),
 		fmtDur(agg.P50), fmtDur(agg.P95), fmtDur(agg.P99), fmtDur(agg.Max))
 	fmt.Println(t)
-	fmt.Printf("shed(503)=%d errors=%d dropped=%d\n",
-		res.shed.Load(), res.errs.Load(), res.dropped.Load())
+	fmt.Printf("shed(503)=%d errors=%d dropped=%d faulted(5xx)=%d\n",
+		res.shed.Load(), res.errs.Load(), res.dropped.Load(), res.faulted.Load())
 }
 
 // benchDoc is the BENCH_server.json schema; keep fields append-only so

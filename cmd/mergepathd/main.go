@@ -9,6 +9,7 @@
 // Usage:
 //
 //	mergepathd -addr :8080 -workers 8 -queue 256
+//	mergepathd -fault 'sort:panic=0.05;*:latency=1ms@0.2'   # chaos mode
 //	curl -s localhost:8080/v1/merge -d '{"a":[1,3],"b":[2,4]}'
 //	curl -s localhost:8080/metrics
 //
@@ -28,21 +29,34 @@ import (
 	"syscall"
 	"time"
 
+	"mergepath/internal/fault"
 	"mergepath/internal/server"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		queue    = flag.Int("queue", 256, "admission queue depth (full queue sheds with 503)")
-		window   = flag.Duration("batch-window", 500*time.Microsecond, "coalescing window for small merges")
-		coalesce = flag.Int("coalesce", 1<<16, "max output elements for the coalescing path")
-		maxBody  = flag.Int64("max-body", 8<<20, "request body limit in bytes (413 beyond)")
-		timeout  = flag.Duration("timeout", 5*time.Second, "default per-request deadline")
-		drainFor = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 256, "admission queue depth (full queue sheds with 503)")
+		window    = flag.Duration("batch-window", 500*time.Microsecond, "coalescing window for small merges")
+		coalesce  = flag.Int("coalesce", 1<<16, "max output elements for the coalescing path")
+		maxBody   = flag.Int64("max-body", 8<<20, "request body limit in bytes (413 beyond)")
+		timeout   = flag.Duration("timeout", 5*time.Second, "default per-request deadline")
+		drainFor  = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
+		faultSpec = flag.String("fault", "", `fault injection spec, e.g. "merge:panic=0.01;*:latency=1ms@0.1" (chaos testing; empty = off)`)
+		faultSeed = flag.Int64("fault-seed", 1, "fault injection RNG seed")
 	)
 	flag.Parse()
+
+	var inj *fault.Injector
+	if *faultSpec != "" {
+		var err error
+		inj, err = fault.Parse(*faultSpec, *faultSeed)
+		if err != nil {
+			log.Fatalf("-fault: %v", err)
+		}
+		log.Printf("CHAOS MODE: fault injection active (%s)", *faultSpec)
+	}
 
 	s := server.New(server.Config{
 		Workers:        *workers,
@@ -51,6 +65,7 @@ func main() {
 		CoalesceLimit:  *coalesce,
 		MaxBodyBytes:   *maxBody,
 		RequestTimeout: *timeout,
+		Fault:          inj,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s}
 

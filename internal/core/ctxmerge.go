@@ -1,0 +1,75 @@
+package core
+
+import (
+	"cmp"
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// cancelCheckElems is how many output elements a worker produces between
+// cancellation checks in the ctx-aware variants. Checking costs one
+// atomic load plus (rarely) a ctx.Err call, so the chunk is sized to
+// make that noise against ~64K merge steps while still bounding how long
+// a canceled 100M-element round keeps the pool busy.
+const cancelCheckElems = 1 << 16
+
+// ParallelMergeCtx is ParallelMerge with cooperative cancellation: each
+// worker executes its segment in chunks of cancelCheckElems output
+// elements and abandons the rest once ctx is done. MergeSteps returns
+// the co-rank point it reached, so chunking costs one diagonal search
+// per worker total, not per chunk.
+//
+// Returns nil when the merge completed (out fully written) and ctx.Err()
+// when it was abandoned — out is then only partially written and must be
+// discarded. Panics exactly where ParallelMerge panics (p < 1, mis-sized
+// out).
+func ParallelMergeCtx[T cmp.Ordered](ctx context.Context, a, b, out []T, p int) error {
+	if p < 1 {
+		panic("core: worker count must be positive")
+	}
+	if len(out) != len(a)+len(b) {
+		panic("core: output length mismatch")
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	total := len(a) + len(b)
+	if total == 0 {
+		return nil
+	}
+	if p > total {
+		p = total
+	}
+	// stop is the shared abandon flag: the first worker to observe ctx
+	// done sets it, and every worker checks it at chunk boundaries —
+	// one atomic load instead of p concurrent ctx.Err calls.
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for i := 0; i < p; i++ {
+		go func(i int) {
+			defer wg.Done()
+			lo := i * total / p
+			hi := (i + 1) * total / p
+			at := SearchDiagonal(a, b, lo)
+			for lo < hi {
+				if stop.Load() {
+					return
+				}
+				if ctx.Err() != nil {
+					stop.Store(true)
+					return
+				}
+				end := min(lo+cancelCheckElems, hi)
+				at = MergeSteps(a, b, at, end-lo, out[lo:end])
+				lo = end
+			}
+		}(i)
+	}
+	wg.Wait()
+	if stop.Load() {
+		return ctx.Err()
+	}
+	return nil
+}

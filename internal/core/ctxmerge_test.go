@@ -1,0 +1,84 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestParallelMergeCtxMatchesParallelMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 100, 1 << 12, 1<<17 + 13} {
+		a := sortedSlice(rng, n)
+		b := sortedSlice(rng, n/2+1)
+		want := make([]int, len(a)+len(b))
+		ParallelMerge(a, b, want, 4)
+		got := make([]int, len(a)+len(b))
+		if err := ParallelMergeCtx(context.Background(), a, b, got, 4); err != nil {
+			t.Fatalf("n=%d: err %v", n, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: mismatch at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestParallelMergeCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rng := rand.New(rand.NewSource(2))
+	a := sortedSlice(rng, 1<<18)
+	b := sortedSlice(rng, 1<<18)
+	out := make([]int, len(a)+len(b))
+	start := time.Now()
+	err := ParallelMergeCtx(ctx, a, b, out, 4)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// A canceled merge must return fast, not after doing all the work.
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Errorf("pre-canceled merge took %v", d)
+	}
+}
+
+func TestParallelMergeCtxMidFlightCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Big enough that the merge spans many cancellation chunks.
+	a := sortedSlice(rng, 1<<22)
+	b := sortedSlice(rng, 1<<22)
+	out := make([]int, len(a)+len(b))
+
+	// Baseline: how long the full merge takes here.
+	t0 := time.Now()
+	ParallelMerge(a, b, out, 2)
+	full := time.Since(t0)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(full / 10)
+		cancel()
+	}()
+	t1 := time.Now()
+	err := ParallelMergeCtx(ctx, a, b, out, 2)
+	aborted := time.Since(t1)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if aborted >= full {
+		t.Errorf("canceled merge took %v, full merge only %v — cancellation not observed early", aborted, full)
+	}
+}
+
+// sortedSlice builds a sorted test input (non-decreasing, with ties).
+func sortedSlice(rng *rand.Rand, n int) []int {
+	s := make([]int, n)
+	v := 0
+	for i := range s {
+		v += rng.Intn(4)
+		s[i] = v
+	}
+	return s
+}

@@ -1,0 +1,172 @@
+// Package fault is deterministic probabilistic fault injection for the
+// service layer: panics, synthetic errors, and added latency, keyed by
+// request op ("merge", "sort", ...). The dispatcher calls Before(op) at
+// the start of a round; the injector then, by seeded coin flips, sleeps,
+// returns an error, or panics — exercising exactly the failure paths the
+// hardening layer (panic recovery, cancellation, shed-at-flush) exists
+// to contain. Production daemons run with a nil *Injector, which is a
+// no-op on every call.
+//
+// Rules are written as a compact spec, one clause per op, ';'-separated:
+//
+//	merge:panic=0.1;sort:error=0.05,latency=2ms@0.5;*:latency=1ms
+//
+// Keys: panic=<prob> and error=<prob> are probabilities in [0,1];
+// latency=<duration>[@<prob>] sleeps for the duration with the given
+// probability (default 1). The op "*" applies to every op without a more
+// specific clause.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the error returned by error-injection rules; the server
+// maps it (like any other round error) to a 500.
+var ErrInjected = errors.New("fault: injected error")
+
+// Rule is the per-op fault mix.
+type Rule struct {
+	Panic       float64       // probability of panicking
+	Error       float64       // probability of returning ErrInjected
+	Latency     time.Duration // added latency when the latency coin hits
+	LatencyProb float64       // probability of sleeping Latency
+}
+
+// Injector applies Rules with a seeded RNG so chaos runs are
+// reproducible. The zero Injector (and a nil *Injector) injects nothing.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules map[string]Rule
+
+	// Injection counters, exported so tests and the chaos load generator
+	// can assert how much havoc was actually wreaked.
+	Panics atomic.Uint64
+	Errors atomic.Uint64
+	Sleeps atomic.Uint64
+}
+
+// New builds an Injector over explicit rules. The op "*" is the
+// fallback for ops without their own rule.
+func New(rules map[string]Rule, seed int64) *Injector {
+	r := make(map[string]Rule, len(rules))
+	for op, rule := range rules {
+		r[op] = rule
+	}
+	return &Injector{rng: rand.New(rand.NewSource(seed)), rules: r}
+}
+
+// Parse builds an Injector from a spec string (see the package comment
+// for the grammar). An empty spec yields an injector with no rules.
+func Parse(spec string, seed int64) (*Injector, error) {
+	rules := map[string]Rule{}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		op, body, ok := strings.Cut(clause, ":")
+		if !ok {
+			return nil, fmt.Errorf("fault: clause %q missing op (want op:key=val,...)", clause)
+		}
+		op = strings.TrimSpace(op)
+		if op == "" {
+			return nil, fmt.Errorf("fault: clause %q has empty op", clause)
+		}
+		var rule Rule
+		for _, kv := range strings.Split(body, ",") {
+			key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return nil, fmt.Errorf("fault: %q is not key=value", kv)
+			}
+			switch key {
+			case "panic", "error":
+				p, err := strconv.ParseFloat(val, 64)
+				if err != nil || p < 0 || p > 1 {
+					return nil, fmt.Errorf("fault: %s=%q is not a probability in [0,1]", key, val)
+				}
+				if key == "panic" {
+					rule.Panic = p
+				} else {
+					rule.Error = p
+				}
+			case "latency":
+				dur, prob := val, "1"
+				if d, pr, ok := strings.Cut(val, "@"); ok {
+					dur, prob = d, pr
+				}
+				d, err := time.ParseDuration(dur)
+				if err != nil || d < 0 {
+					return nil, fmt.Errorf("fault: latency=%q is not a non-negative duration", val)
+				}
+				p, err := strconv.ParseFloat(prob, 64)
+				if err != nil || p < 0 || p > 1 {
+					return nil, fmt.Errorf("fault: latency probability %q is not in [0,1]", prob)
+				}
+				rule.Latency, rule.LatencyProb = d, p
+			default:
+				return nil, fmt.Errorf("fault: unknown key %q (want panic, error or latency)", key)
+			}
+		}
+		rules[op] = rule
+	}
+	return New(rules, seed), nil
+}
+
+// PanicValue is what an injected panic carries, so recovery sites (and
+// their tests) can tell injected panics from real bugs.
+type PanicValue struct{ Op string }
+
+func (v PanicValue) String() string { return "fault: injected panic (op=" + v.Op + ")" }
+
+// Before runs the op's rule: it may sleep, return ErrInjected, or panic
+// with a PanicValue — in that order of evaluation, so a rule with both
+// latency and panic delays before blowing up (the realistic failure
+// shape: a slow request that then dies). Safe on a nil receiver.
+func (in *Injector) Before(op string) error {
+	if in == nil {
+		return nil
+	}
+	rule, ok := in.rules[op]
+	if !ok {
+		rule, ok = in.rules["*"]
+		if !ok {
+			return nil
+		}
+	}
+	sleep, fail, die := in.flip(rule)
+	if sleep {
+		in.Sleeps.Add(1)
+		time.Sleep(rule.Latency)
+	}
+	if die {
+		in.Panics.Add(1)
+		panic(PanicValue{Op: op})
+	}
+	if fail {
+		in.Errors.Add(1)
+		return fmt.Errorf("%w (op=%s)", ErrInjected, op)
+	}
+	return nil
+}
+
+// flip draws the three coins under one lock so concurrent callers keep
+// the rng's determinism (a fixed seed yields a fixed total fault count,
+// independent of interleaving only in the single-caller case — which is
+// exactly the dispatcher's usage).
+func (in *Injector) flip(rule Rule) (sleep, fail, die bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	sleep = rule.Latency > 0 && rule.LatencyProb > 0 && in.rng.Float64() < rule.LatencyProb
+	die = rule.Panic > 0 && in.rng.Float64() < rule.Panic
+	fail = !die && rule.Error > 0 && in.rng.Float64() < rule.Error
+	return sleep, fail, die
+}

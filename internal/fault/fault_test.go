@@ -1,0 +1,141 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsNoop(t *testing.T) {
+	var in *Injector
+	for i := 0; i < 100; i++ {
+		if err := in.Before("merge"); err != nil {
+			t.Fatalf("nil injector returned %v", err)
+		}
+	}
+}
+
+func TestNoRuleNoFault(t *testing.T) {
+	in := New(map[string]Rule{"sort": {Panic: 1}}, 1)
+	for i := 0; i < 100; i++ {
+		if err := in.Before("merge"); err != nil {
+			t.Fatalf("op without rule returned %v", err)
+		}
+	}
+	if n := in.Panics.Load(); n != 0 {
+		t.Fatalf("panics = %d, want 0", n)
+	}
+}
+
+func TestPanicProbabilityOne(t *testing.T) {
+	in := New(map[string]Rule{"merge": {Panic: 1}}, 1)
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("panic=1 rule did not panic")
+		}
+		pv, ok := v.(PanicValue)
+		if !ok || pv.Op != "merge" {
+			t.Fatalf("panic value %v, want PanicValue{merge}", v)
+		}
+		if in.Panics.Load() != 1 {
+			t.Fatalf("panic counter = %d, want 1", in.Panics.Load())
+		}
+	}()
+	in.Before("merge")
+}
+
+func TestErrorProbabilityOne(t *testing.T) {
+	in := New(map[string]Rule{"sort": {Error: 1}}, 1)
+	err := in.Before("sort")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("error=1 rule returned %v, want ErrInjected", err)
+	}
+	if !strings.Contains(err.Error(), "op=sort") {
+		t.Fatalf("error %q does not name the op", err)
+	}
+	if in.Errors.Load() != 1 {
+		t.Fatalf("error counter = %d, want 1", in.Errors.Load())
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	in := New(map[string]Rule{"*": {Latency: 20 * time.Millisecond, LatencyProb: 1}}, 1)
+	start := time.Now()
+	if err := in.Before("anything"); err != nil {
+		t.Fatalf("latency-only rule returned %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("Before returned after %v, want >= 20ms", d)
+	}
+	if in.Sleeps.Load() != 1 {
+		t.Fatalf("sleep counter = %d, want 1", in.Sleeps.Load())
+	}
+}
+
+func TestWildcardFallback(t *testing.T) {
+	in := New(map[string]Rule{"*": {Error: 1}, "sort": {}}, 1)
+	if err := in.Before("merge"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("wildcard did not apply to merge: %v", err)
+	}
+	// sort has its own (empty) rule, which shadows the wildcard.
+	if err := in.Before("sort"); err != nil {
+		t.Fatalf("specific empty rule shadowed by wildcard: %v", err)
+	}
+}
+
+func TestDeterministicAcrossSeeds(t *testing.T) {
+	count := func(seed int64) uint64 {
+		in := New(map[string]Rule{"merge": {Error: 0.3}}, seed)
+		for i := 0; i < 1000; i++ {
+			in.Before("merge")
+		}
+		return in.Errors.Load()
+	}
+	if a, b := count(7), count(7); a != b {
+		t.Fatalf("same seed diverged: %d vs %d", a, b)
+	}
+	n := count(7)
+	if n < 200 || n > 400 {
+		t.Fatalf("error=0.3 over 1000 trials fired %d times", n)
+	}
+}
+
+func TestParse(t *testing.T) {
+	in, err := Parse("merge:panic=0.5;sort:error=0.25,latency=2ms@0.75;*:latency=1ms", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]Rule{
+		"merge": {Panic: 0.5},
+		"sort":  {Error: 0.25, Latency: 2 * time.Millisecond, LatencyProb: 0.75},
+		"*":     {Latency: time.Millisecond, LatencyProb: 1},
+	}
+	for op, want := range cases {
+		if got := in.rules[op]; got != want {
+			t.Errorf("rules[%q] = %+v, want %+v", op, got, want)
+		}
+	}
+	// Empty spec: valid, no rules.
+	if in, err := Parse("", 1); err != nil || len(in.rules) != 0 {
+		t.Errorf("empty spec: %v, %d rules", err, len(in.rules))
+	}
+}
+
+func TestParseRejectsMalformedSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"nokey",             // no op separator
+		":panic=1",          // empty op
+		"merge:panic",       // no value
+		"merge:panic=2",     // probability out of range
+		"merge:panic=x",     // non-numeric probability
+		"merge:latency=-1s", // negative duration
+		"merge:latency=1ms@1.5",
+		"merge:explode=1", // unknown key
+	} {
+		if _, err := Parse(spec, 1); err == nil {
+			t.Errorf("Parse(%q) accepted a malformed spec", spec)
+		}
+	}
+}

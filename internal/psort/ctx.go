@@ -1,0 +1,129 @@
+package psort
+
+import (
+	"cmp"
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"mergepath/internal/core"
+)
+
+// cancelRunElems caps the initial run length of SortCtx so cancellation
+// is observed between runs in phase 1 as well as between chunks in the
+// phase-2 merges (core.ParallelMergeCtx). Matches core's chunking
+// granularity.
+const cancelRunElems = 1 << 16
+
+// SortCtx is Sort with cooperative cancellation: a canceled or expired
+// ctx stops the sort at the next chunk boundary instead of running the
+// full O(n log n) to completion. Phase 1 sorts runs of at most
+// cancelRunElems elements (workers pull runs from a shared counter and
+// check ctx between runs); phase 2 executes every pairwise merge through
+// core.ParallelMergeCtx, which checks ctx every cancelCheckElems output
+// elements.
+//
+// Returns nil when s is fully sorted and ctx.Err() when the sort was
+// abandoned — s then holds an unspecified intermediate state (it may not
+// even be a permutation of the input, since ping-pong rounds were
+// interrupted mid-copy) and must be discarded. Like Sort, the result is
+// stable and p < 1 panics.
+func SortCtx[T cmp.Ordered](ctx context.Context, s []T, p int) error {
+	if p < 1 {
+		panic("psort: worker count must be positive")
+	}
+	n := len(s)
+	if n < 2 {
+		return ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if p > n {
+		p = n
+	}
+
+	// Runs sized for cancellation granularity: n/p like Sort, but capped
+	// so one sequential run sort cannot outlive the deadline by much.
+	runLen := (n + p - 1) / p
+	if runLen > cancelRunElems {
+		runLen = cancelRunElems
+	}
+	var runs [][2]int
+	for lo := 0; lo < n; lo += runLen {
+		runs = append(runs, [2]int{lo, min(lo+runLen, n)})
+	}
+
+	scratch := make([]T, n)
+	var stop atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				if ctx.Err() != nil {
+					stop.Store(true)
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(runs) {
+					return
+				}
+				lo, hi := runs[i][0], runs[i][1]
+				seqSort(s[lo:hi], scratch[lo:hi])
+			}
+		}()
+	}
+	wg.Wait()
+	if stop.Load() {
+		return ctx.Err()
+	}
+
+	// Phase 2: pairwise merge rounds, ping-ponging s and scratch, each
+	// merge cancellation-aware. A merge that observes ctx done leaves its
+	// destination range partial; the round is then abandoned wholesale.
+	src, dst := s, scratch
+	for len(runs) > 1 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		pairs := len(runs) / 2
+		next := make([][2]int, 0, (len(runs)+1)/2)
+		perMerge := p / pairs
+		if perMerge < 1 {
+			perMerge = 1
+		}
+		var aborted atomic.Bool
+		wg.Add(pairs)
+		for m := 0; m < pairs; m++ {
+			r1, r2 := runs[2*m], runs[2*m+1]
+			next = append(next, [2]int{r1[0], r2[1]})
+			go func(r1, r2 [2]int) {
+				defer wg.Done()
+				if err := core.ParallelMergeCtx(ctx, src[r1[0]:r1[1]], src[r2[0]:r2[1]], dst[r1[0]:r2[1]], perMerge); err != nil {
+					aborted.Store(true)
+				}
+			}(r1, r2)
+		}
+		wg.Wait()
+		if aborted.Load() {
+			return ctx.Err()
+		}
+		if len(runs)%2 == 1 {
+			last := runs[len(runs)-1]
+			copy(dst[last[0]:last[1]], src[last[0]:last[1]])
+			next = append(next, last)
+		}
+		runs = next
+		src, dst = dst, src
+	}
+	if &src[0] != &s[0] {
+		copy(s, src)
+	}
+	return nil
+}

@@ -16,8 +16,11 @@ type Metrics struct {
 	start     time.Time
 	endpoints map[string]*endpointMetrics // fixed key set, created up front
 
-	shed     atomic.Uint64 // 503s from the full admission queue
-	timeouts atomic.Uint64 // jobs expired before or while queued
+	shed      atomic.Uint64 // 503s from the full admission queue
+	timeouts  atomic.Uint64 // jobs expired before or while queued
+	canceled  atomic.Uint64 // requests abandoned by their client (499 class)
+	shedFlush atomic.Uint64 // coalesced pairs dropped expired/canceled at flush
+	panics    atomic.Uint64 // round panics recovered into per-job 500s
 
 	batchRounds atomic.Uint64 // coalesced rounds executed
 	batchPairs  atomic.Uint64 // small requests coalesced into those rounds
@@ -88,6 +91,14 @@ type QueueSnapshot struct {
 	Capacity int    `json:"capacity"`
 	Shed     uint64 `json:"shed_total"`
 	Timeouts uint64 `json:"timeouts_total"`
+	// Canceled counts requests abandoned by their client (disconnect or
+	// explicit cancel) — deliberately separate from Timeouts: a cancel is
+	// the client's choice, not a server SLO violation.
+	Canceled uint64 `json:"canceled_total"`
+	// ShedAtFlush counts coalesced pairs dropped at batch-flush time
+	// because their deadline passed (or client vanished) while parked in
+	// the pending buffer.
+	ShedAtFlush uint64 `json:"shed_at_flush_total"`
 }
 
 // PoolSnapshot describes the worker pool and the coalescing path.
@@ -100,6 +111,10 @@ type PoolSnapshot struct {
 	BatchElems    uint64             `json:"batch_elements"`
 	PairsPerRound float64            `json:"pairs_per_round"`
 	LastRoundLoad []batch.WorkerLoad `json:"last_round_loads,omitempty"`
+	// PanicsRecovered counts request-induced panics caught inside rounds
+	// and converted to per-job 500s; nonzero means a request found a bug
+	// (or the fault injector is on) but the daemon survived it.
+	PanicsRecovered uint64 `json:"panics_recovered"`
 }
 
 // MetricsSnapshot is the /metrics JSON document.
@@ -116,13 +131,16 @@ func (m *Metrics) snapshot(p *pool) MetricsSnapshot {
 	s := MetricsSnapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Queue: QueueSnapshot{
-			Shed:     m.shed.Load(),
-			Timeouts: m.timeouts.Load(),
+			Shed:        m.shed.Load(),
+			Timeouts:    m.timeouts.Load(),
+			Canceled:    m.canceled.Load(),
+			ShedAtFlush: m.shedFlush.Load(),
 		},
 		Pool: PoolSnapshot{
-			BatchRounds: m.batchRounds.Load(),
-			BatchPairs:  m.batchPairs.Load(),
-			BatchElems:  m.batchElems.Load(),
+			BatchRounds:     m.batchRounds.Load(),
+			BatchPairs:      m.batchPairs.Load(),
+			BatchElems:      m.batchElems.Load(),
+			PanicsRecovered: m.panics.Load(),
 		},
 		Endpoints: make(map[string]EndpointSnapshot, len(m.endpoints)),
 	}

@@ -3,33 +3,66 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
+	"log"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"mergepath/internal/batch"
+	"mergepath/internal/core"
 )
 
-// Admission-control errors, mapped to HTTP codes by the handlers.
+// Admission-control and lifecycle errors, mapped to HTTP codes by the
+// handlers.
 var (
 	// ErrQueueFull means the bounded admission queue rejected the job —
 	// the daemon sheds load with 503 instead of queueing unboundedly.
 	ErrQueueFull = errors.New("server: admission queue full")
 	// ErrDraining means the daemon is shutting down and admits no new work.
 	ErrDraining = errors.New("server: draining, not accepting work")
-	// ErrDeadline means the job's deadline expired before it ran.
+	// ErrDeadline means the job's deadline expired before it finished.
 	ErrDeadline = errors.New("server: deadline exceeded before execution")
+	// ErrCanceled means the client abandoned the request (disconnect or
+	// explicit cancel) before it finished. Distinct from ErrDeadline: a
+	// cancel is the client's choice, not a server timeout, so it maps to
+	// the 499 class and its own counter, never to 504/timeouts.
+	ErrCanceled = errors.New("server: request canceled by client")
 )
+
+// PanicError is a panic recovered inside a round, converted to a per-job
+// error so one poisoned request cannot take down the dispatcher or its
+// round-mates. The handlers map it to 500.
+type PanicError struct{ Value any }
+
+func (e *PanicError) Error() string { return fmt.Sprintf("server: round panicked: %v", e.Value) }
 
 // job is one unit of admitted work. Exactly one of pair/run is set:
 // pair jobs are small merges the dispatcher coalesces into one globally
 // load-balanced batch.Merge round; run jobs (large merges, sorts, k-way
-// merges, set operations) take the whole pool for one round.
+// merges, set operations) take the whole pool for one round. run
+// receives the request context and must observe its cancellation at
+// chunk boundaries; a non-nil return fails the job (ctx errors are
+// normalized to ErrCanceled/ErrDeadline, anything else maps to 500).
 type job struct {
 	pair     *batch.Pair[int64]
-	run      func(workers int)
+	run      func(ctx context.Context, workers int) error
+	fault    func() error // optional injection hook (internal/fault); runs inside recovery
+	ctx      context.Context
 	deadline time.Time
 	done     chan error // buffered(1): the dispatcher never blocks on it
+}
+
+// expired reports whether the job's deadline has passed at now.
+func (j *job) expired(now time.Time) bool {
+	return !j.deadline.IsZero() && now.After(j.deadline)
+}
+
+// canceled reports whether the request context was canceled by the
+// client (as opposed to expiring, which expired covers).
+func (j *job) canceled() bool {
+	return j.ctx != nil && context.Cause(j.ctx) == context.Canceled
 }
 
 // pool multiplexes all in-flight requests onto one fixed set of workers.
@@ -44,6 +77,13 @@ type job struct {
 // else runs as its own round via the job's run closure with all workers.
 // One round executes at a time; each round engages every worker; the
 // goroutine count is bounded by workers+1 regardless of offered load.
+//
+// Lifecycle hardening: every round executes behind panic recovery (a
+// request-induced panic becomes that job's error, the dispatcher and all
+// other requests live on), jobs whose deadline passed or whose client
+// went away are dropped at dequeue AND at batch-flush time, and run
+// closures observe request-context cancellation at chunk boundaries so
+// an abandoned 100M-element round frees the pool early.
 type pool struct {
 	workers int
 	queue   chan *job
@@ -60,7 +100,8 @@ type pool struct {
 	m            *Metrics
 	busyNanos    atomic.Int64 // time spent executing rounds
 	queueDepth   atomic.Int64
-	flushPending func([]*job) // test hook; nil in production
+	panicLogs    atomic.Uint64 // recovered panics logged (stacks rate-limited)
+	flushPending func([]*job)  // test hook; nil in production
 }
 
 func newPool(workers, queueDepth int, window time.Duration, batchElems int, m *Metrics) *pool {
@@ -94,11 +135,13 @@ func (p *pool) submit(j *job) error {
 	}
 }
 
-// do submits the job and waits for completion or ctx expiry. On ctx
-// expiry the job still executes eventually (its slice results are simply
-// discarded); the dispatcher independently skips jobs whose deadline has
-// already passed so abandoned work is usually dropped, not done.
+// do submits the job and waits for completion, ctx expiry, or client
+// cancellation. An abandoned job does not run to completion behind the
+// client's back: the dispatcher skips jobs whose deadline passed or
+// whose ctx was canceled, drops expired coalesced pairs at flush time,
+// and run closures observe ctx at chunk boundaries mid-round.
 func (p *pool) do(ctx context.Context, j *job) error {
+	j.ctx = ctx
 	if dl, ok := ctx.Deadline(); ok {
 		j.deadline = dl
 	}
@@ -107,9 +150,28 @@ func (p *pool) do(ctx context.Context, j *job) error {
 	}
 	select {
 	case err := <-j.done:
-		return err
+		return normalizeCtxErr(err)
 	case <-ctx.Done():
+		if context.Cause(ctx) == context.Canceled {
+			return ErrCanceled
+		}
 		return ErrDeadline
+	}
+}
+
+// normalizeCtxErr maps raw context errors escaping a run closure onto
+// the pool's error vocabulary, so handlers see one canonical error per
+// outcome no matter which side (waiter or dispatcher) observed it first.
+func normalizeCtxErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.Canceled):
+		return ErrCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return ErrDeadline
+	default:
+		return err
 	}
 }
 
@@ -142,11 +204,15 @@ func (p *pool) dispatch() {
 	}
 	handle := func(j *job) {
 		p.queueDepth.Add(-1)
-		// Expired while queued: drop it unexecuted. The handler (or its
-		// abandoned ctx wait) accounts the timeout; doing it here too
-		// would double count.
-		if !j.deadline.IsZero() && time.Now().After(j.deadline) {
+		// Expired or abandoned while queued: drop it unexecuted. The
+		// handler (or its abandoned ctx wait) accounts the timeout or
+		// cancel; doing it here too would double count.
+		if j.expired(time.Now()) {
 			j.done <- ErrDeadline
+			return
+		}
+		if j.canceled() {
+			j.done <- ErrCanceled
 			return
 		}
 		if j.pair != nil {
@@ -164,9 +230,9 @@ func (p *pool) dispatch() {
 		// requests aren't held hostage behind a big one.
 		flush()
 		start := time.Now()
-		j.run(p.workers)
+		err := p.runRound(j)
 		p.busyNanos.Add(time.Since(start).Nanoseconds())
-		j.done <- nil
+		j.done <- err
 	}
 	for {
 		select {
@@ -182,28 +248,153 @@ func (p *pool) dispatch() {
 	}
 }
 
-// runBatch executes one coalesced round: every pending pair merged by one
-// globally balanced batch round, all workers splitting the combined
-// output evenly.
+// runRound executes one run job with panic isolation: a panic anywhere
+// inside the fault hook or the run closure is recovered into that job's
+// error, stack-logged, and counted — the dispatcher keeps going.
+func (p *pool) runRound(j *job) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = p.recovered(v)
+		}
+	}()
+	if j.fault != nil {
+		if ferr := j.fault(); ferr != nil {
+			return ferr
+		}
+	}
+	ctx := j.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return j.run(ctx, p.workers)
+}
+
+// panicStackLogLimit caps how many recovered panics get a full stack in
+// the log: a panic storm (adversarial traffic, chaos mode) must not
+// flood the log at one stack per request. The count keeps going; the
+// stacks stop.
+const panicStackLogLimit = 5
+
+// recovered converts a round panic into a job error: counted, stack
+// logged (rate-limited), dispatcher alive.
+func (p *pool) recovered(v any) error {
+	if p.m != nil {
+		p.m.panics.Add(1)
+	}
+	if n := p.panicLogs.Add(1); n <= panicStackLogLimit {
+		log.Printf("server: recovered panic in round: %v\n%s", v, debug.Stack())
+	} else {
+		log.Printf("server: recovered panic in round: %v (stacks suppressed after %d)", v, panicStackLogLimit)
+	}
+	return &PanicError{Value: v}
+}
+
+// runBatch executes one coalesced round: every still-live pending pair
+// merged by one globally balanced batch round, all workers splitting the
+// combined output evenly.
+//
+// Lifecycle at flush time:
+//   - pairs whose deadline passed while parked in pending are dropped and
+//     counted as shed-at-flush — the client already got its 504, merging
+//     anyway would be silent wasted work;
+//   - pairs whose client canceled are dropped the same way;
+//   - per-pair fault hooks run under per-job recovery, so an injected
+//     panic or error fails only its own job;
+//   - the batch round itself runs under recovery; if it panics, the
+//     round is quarantined — each surviving pair re-runs alone under its
+//     own recovery, so exactly the poisoned pair fails and its
+//     round-mates still get correct 200s.
 func (p *pool) runBatch(jobs []*job) {
 	if p.flushPending != nil {
 		p.flushPending(jobs)
 	}
-	pairs := make([]batch.Pair[int64], len(jobs))
+	now := time.Now()
+	live := make([]*job, 0, len(jobs))
+	for _, j := range jobs {
+		switch {
+		case j.expired(now):
+			if p.m != nil {
+				p.m.shedFlush.Add(1)
+			}
+			j.done <- ErrDeadline
+		case j.canceled():
+			if p.m != nil {
+				p.m.shedFlush.Add(1)
+			}
+			j.done <- ErrCanceled
+		default:
+			if err := p.runPairFault(j); err != nil {
+				j.done <- err
+				continue
+			}
+			live = append(live, j)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	pairs := make([]batch.Pair[int64], len(live))
 	elems := 0
-	for i, j := range jobs {
+	for i, j := range live {
 		pairs[i] = *j.pair
 		elems += len(j.pair.Out)
 	}
 	start := time.Now()
-	loads := batch.MergeWithLoads(pairs, p.workers)
+	loads, err := p.safeBatchMerge(pairs)
+	if err != nil {
+		// Quarantine: one pair poisoned the round. Re-merge each pair
+		// individually, each under its own recovery, so only the
+		// culprit's job fails.
+		for _, j := range live {
+			j.done <- p.safeMergeOne(j.pair)
+		}
+		p.busyNanos.Add(time.Since(start).Nanoseconds())
+		return
+	}
 	p.busyNanos.Add(time.Since(start).Nanoseconds())
 	if p.m != nil {
 		p.m.recordBatchRound(len(pairs), elems, loads)
 	}
-	for _, j := range jobs {
+	for _, j := range live {
 		j.done <- nil
 	}
+}
+
+// runPairFault runs a pair job's fault hook (if any) with panic
+// isolation; the returned error fails just that job.
+func (p *pool) runPairFault(j *job) (err error) {
+	if j.fault == nil {
+		return nil
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			err = p.recovered(v)
+		}
+	}()
+	return j.fault()
+}
+
+// safeBatchMerge is batch.MergeWithLoads behind panic recovery.
+func (p *pool) safeBatchMerge(pairs []batch.Pair[int64]) (loads []batch.WorkerLoad, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = p.recovered(v)
+		}
+	}()
+	return batch.MergeWithLoads(pairs, p.workers), nil
+}
+
+// safeMergeOne re-merges a single quarantined pair sequentially behind
+// panic recovery. Pairs are small by construction (they passed the
+// coalesce limit), so losing parallelism on this salvage path is cheap.
+func (p *pool) safeMergeOne(pr *batch.Pair[int64]) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = p.recovered(v)
+		}
+	}()
+	core.Merge(pr.A, pr.B, pr.Out)
+	return nil
 }
 
 // depth reports the current admission-queue depth.

@@ -27,10 +27,18 @@ import (
 
 	"mergepath/internal/batch"
 	"mergepath/internal/core"
+	"mergepath/internal/fault"
 	"mergepath/internal/kway"
 	"mergepath/internal/psort"
 	"mergepath/internal/setops"
 )
+
+// StatusClientClosedRequest is the de-facto-standard status (nginx's
+// 499) for a request whose client went away before the response: not a
+// server failure (5xx) and not the client's request being wrong (4xx in
+// the usual sense), so it gets the conventional off-registry code. The
+// client never reads it; logs and metrics do.
+const StatusClientClosedRequest = 499
 
 // Config shapes the daemon. Zero values select the documented defaults.
 type Config struct {
@@ -58,6 +66,10 @@ type Config struct {
 	// with an X-Timeout-Ms header. Timed-out requests get 504.
 	// Default 5s.
 	RequestTimeout time.Duration
+	// Fault, when non-nil, injects panics/errors/latency into round
+	// execution keyed by op (internal/fault) — chaos testing for the
+	// panic-isolation and cancellation machinery. Nil in production.
+	Fault *fault.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -163,18 +175,42 @@ func decode(r *http.Request, req any) (int, error) {
 	return http.StatusBadRequest, err
 }
 
+// errBadTimeout rejects malformed X-Timeout-Ms values with 400: zero,
+// negative, non-numeric and overflowing values are client errors, not
+// values to silently ignore (ignoring them would run the request under a
+// deadline the client never agreed to).
+var errBadTimeout = errors.New("invalid X-Timeout-Ms: must be a positive integer count of milliseconds")
+
 // requestCtx applies the effective deadline: the configured default, or
-// a smaller client-requested X-Timeout-Ms.
-func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+// a smaller client-requested X-Timeout-Ms. Per the documented contract a
+// client may lower the server deadline but never raise it, so values
+// above RequestTimeout are clamped; values that don't parse as a
+// positive int64 (including overflow) are a 400-worthy error.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc, error) {
 	timeout := s.cfg.RequestTimeout
 	if h := r.Header.Get("X-Timeout-Ms"); h != "" {
-		if ms, err := strconv.Atoi(h); err == nil && ms > 0 {
-			if d := time.Duration(ms) * time.Millisecond; d < timeout {
-				timeout = d
-			}
+		ms, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || ms <= 0 {
+			return nil, nil, errBadTimeout
+		}
+		// Compare in milliseconds before converting: ms near MaxInt64
+		// would overflow the Duration multiply.
+		if ms < timeout.Milliseconds() {
+			timeout = time.Duration(ms) * time.Millisecond
 		}
 	}
-	return context.WithTimeout(r.Context(), timeout)
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	return ctx, cancel, nil
+}
+
+// newJob allocates a job for an endpoint op, attaching the fault
+// injector's hook when chaos is configured.
+func (s *Server) newJob(op string) *job {
+	j := &job{done: make(chan error, 1)}
+	if inj := s.cfg.Fault; inj != nil {
+		j.fault = func() error { return inj.Before(op) }
+	}
+	return j
 }
 
 // execute runs a job through admission control and maps pool errors to
@@ -183,9 +219,12 @@ func (s *Server) execute(r *http.Request, j *job) (int, error) {
 	if s.draining.Load() {
 		return http.StatusServiceUnavailable, ErrDraining
 	}
-	ctx, cancel := s.requestCtx(r)
+	ctx, cancel, err := s.requestCtx(r)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
 	defer cancel()
-	err := s.pool.do(ctx, j)
+	err = s.pool.do(ctx, j)
 	switch {
 	case err == nil:
 		return 0, nil
@@ -197,6 +236,9 @@ func (s *Server) execute(r *http.Request, j *job) (int, error) {
 	case errors.Is(err, ErrDeadline):
 		s.m.timeouts.Add(1)
 		return http.StatusGatewayTimeout, err
+	case errors.Is(err, ErrCanceled):
+		s.m.canceled.Add(1)
+		return StatusClientClosedRequest, err
 	default:
 		return http.StatusInternalServerError, err
 	}
@@ -216,12 +258,14 @@ func (s *Server) handleMerge(r *http.Request) (int, any) {
 		return http.StatusBadRequest, errBody(err)
 	}
 	out := make([]int64, len(req.A)+len(req.B))
-	j := &job{done: make(chan error, 1)}
+	j := s.newJob("merge")
 	if len(out) <= s.cfg.CoalesceLimit {
 		j.pair = &batch.Pair[int64]{A: req.A, B: req.B, Out: out}
 	} else {
 		a, b := req.A, req.B
-		j.run = func(workers int) { core.ParallelMerge(a, b, out, workers) }
+		j.run = func(ctx context.Context, workers int) error {
+			return core.ParallelMergeCtx(ctx, a, b, out, workers)
+		}
 	}
 	if status, err := s.execute(r, j); err != nil {
 		return status, errBody(err)
@@ -235,7 +279,10 @@ func (s *Server) handleSort(r *http.Request) (int, any) {
 		return status, errBody(err)
 	}
 	data := req.Data
-	j := &job{done: make(chan error, 1), run: func(workers int) { psort.Sort(data, workers) }}
+	j := s.newJob("sort")
+	j.run = func(ctx context.Context, workers int) error {
+		return psort.SortCtx(ctx, data, workers)
+	}
 	if status, err := s.execute(r, j); err != nil {
 		return status, errBody(err)
 	}
@@ -254,7 +301,16 @@ func (s *Server) handleMergeK(r *http.Request) (int, any) {
 	}
 	var result []int64
 	lists := req.Lists
-	j := &job{done: make(chan error, 1), run: func(workers int) { result = kway.Merge(lists, workers) }}
+	j := s.newJob("mergek")
+	// kway rounds are not chunk-cancellable yet; observe ctx at the round
+	// boundary so an abandoned job at least never starts.
+	j.run = func(ctx context.Context, workers int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		result = kway.Merge(lists, workers)
+		return nil
+	}
 	if status, err := s.execute(r, j); err != nil {
 		return status, errBody(err)
 	}
@@ -285,7 +341,14 @@ func (s *Server) handleSetOps(r *http.Request) (int, any) {
 	}
 	var result []int64
 	a, b := req.A, req.B
-	j := &job{done: make(chan error, 1), run: func(workers int) { result = op(a, b, workers) }}
+	j := s.newJob("setops")
+	j.run = func(ctx context.Context, workers int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		result = op(a, b, workers)
+		return nil
+	}
 	if status, err := s.execute(r, j); err != nil {
 		return status, errBody(err)
 	}

@@ -242,9 +242,10 @@ func blockPool(t *testing.T, s *Server) (release chan struct{}, blocked chan str
 	t.Helper()
 	release = make(chan struct{})
 	blocked = make(chan struct{})
-	j := &job{done: make(chan error, 1), run: func(int) {
+	j := &job{done: make(chan error, 1), run: func(context.Context, int) error {
 		close(blocked)
 		<-release
+		return nil
 	}}
 	if err := s.pool.submit(j); err != nil {
 		t.Fatalf("blocker rejected: %v", err)
@@ -259,7 +260,7 @@ func TestQueueFull503(t *testing.T) {
 	defer close(release)
 	// Fill the queue to capacity behind the blocker.
 	for i := 0; i < 2; i++ {
-		if err := s.pool.submit(&job{done: make(chan error, 1), run: func(int) {}}); err != nil {
+		if err := s.pool.submit(&job{done: make(chan error, 1), run: func(context.Context, int) error { return nil }}); err != nil {
 			t.Fatalf("filler %d rejected: %v", i, err)
 		}
 	}

@@ -46,8 +46,14 @@ func (r *ring[T]) fill(src []T, want int) int {
 	return want
 }
 
-// drop consumes k elements from the head.
+// drop consumes k elements from the head. k beyond the staged count
+// would silently corrupt head/n (the mask wraps, n goes negative, and
+// every later at/fill reads garbage), so it is a loud invariant panic
+// instead.
 func (r *ring[T]) drop(k int) {
+	if k < 0 || k > r.n {
+		panic("spm: ring drop out of range: k exceeds staged elements")
+	}
 	r.head = (r.head + k) & r.mask
 	r.n -= k
 }

@@ -1,0 +1,54 @@
+package spm
+
+import "testing"
+
+func TestRingFillAtDrop(t *testing.T) {
+	r := newRing[int](5) // rounds up to capacity 8
+	if got := r.fill([]int{1, 2, 3, 4, 5, 6}, 6); got != 6 {
+		t.Fatalf("fill staged %d, want 6", got)
+	}
+	r.drop(4)
+	if r.len() != 2 {
+		t.Fatalf("len = %d, want 2", r.len())
+	}
+	if r.at(0) != 5 || r.at(1) != 6 {
+		t.Fatalf("head elements %d,%d, want 5,6", r.at(0), r.at(1))
+	}
+	// Wrap the head around the physical end.
+	if got := r.fill([]int{7, 8, 9, 10, 11, 12}, 6); got != 6 {
+		t.Fatalf("refill staged %d, want 6", got)
+	}
+	for i, want := range []int{5, 6, 7, 8, 9, 10, 11, 12} {
+		if r.at(i) != want {
+			t.Fatalf("at(%d) = %d, want %d", i, r.at(i), want)
+		}
+	}
+	r.drop(8)
+	if r.len() != 0 {
+		t.Fatalf("len = %d after dropping all, want 0", r.len())
+	}
+}
+
+func TestRingDropBoundsChecked(t *testing.T) {
+	// drop(k) with k > n used to silently corrupt head/n; it must be a
+	// loud invariant panic instead.
+	for _, k := range []int{-1, 3, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("drop(%d) with 2 staged elements did not panic", k)
+				}
+			}()
+			r := newRing[int](4)
+			r.fill([]int{1, 2}, 2)
+			r.drop(k)
+		}()
+	}
+	// Dropping exactly n is legal.
+	r := newRing[int](4)
+	r.fill([]int{1, 2}, 2)
+	r.drop(2)
+	if r.len() != 0 {
+		t.Fatalf("len = %d, want 0", r.len())
+	}
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify cover bench experiments fmt serve loadtest chaos
+.PHONY: all build vet test race verify cover bench experiments fmt serve loadtest chaos lint-docs
 
 all: build vet test
 
@@ -20,10 +20,16 @@ race: vet
 		./internal/kway ./internal/setops ./internal/sched ./internal/baseline \
 		./internal/server ./internal/batch ./internal/stats ./internal/fault
 
-# Full pre-merge gate: build, vet, unit tests, race suite (which includes
-# the fault-injection lifecycle tests in internal/server and
-# internal/fault), and a chaos pass against a live in-process daemon.
-verify: build vet test race chaos
+# Godoc audit: every exported identifier in the service-facing packages
+# must carry a doc comment (see cmd/lintdocs). Fails listing each gap.
+lint-docs:
+	$(GO) run ./cmd/lintdocs ./internal/server ./internal/core \
+		./internal/batch ./internal/stats
+
+# Full pre-merge gate: build, vet, unit tests, godoc audit, race suite
+# (which includes the fault-injection lifecycle tests in internal/server
+# and internal/fault), and a chaos pass against a live in-process daemon.
+verify: build vet test lint-docs race chaos
 
 cover:
 	$(GO) test -cover ./...

@@ -33,6 +33,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -121,12 +123,45 @@ func main() {
 	res := run(base, client, reqs, o.duration, o)
 
 	printTable(o, res)
+	snap := fetchServerSnapshot(base, client)
+	printServerReport(snap)
 	if o.jsonPath != "" {
-		writeJSON(o, res, base, client)
+		writeJSON(o, res, base, client, snap)
 	}
 	if o.chaos {
 		verifyChaos(srv, base, client, res)
 	}
+}
+
+// fetchServerSnapshot pulls the daemon's own /metrics view of the run;
+// nil when the daemon is unreachable or speaks a different schema.
+func fetchServerSnapshot(base string, client *http.Client) *server.MetricsSnapshot {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var snap server.MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil
+	}
+	return &snap
+}
+
+// printServerReport prints the server-side balance view: how many
+// coalesced and whole-pool rounds ran and the per-worker load-imbalance
+// ratios — the live check of the paper's Theorem 5 guarantee (≈1.0 for
+// whole-pool rounds).
+func printServerReport(snap *server.MetricsSnapshot) {
+	if snap == nil {
+		return
+	}
+	lr := snap.Pool.LastRound
+	fmt.Printf("server: rounds batch=%d run=%d; imbalance last=%.3f max=%.3f mean=%.3f"+
+		" (last round: %d workers, %d..%d elems/worker)\n",
+		snap.Pool.BatchRounds, snap.Pool.RunRounds,
+		lr.Imbalance, snap.Pool.ImbalanceMax, snap.Pool.ImbalanceMean,
+		lr.Workers, lr.Min, lr.Max)
 }
 
 // verifyChaos is the pass/fail gate of -chaos: after a full run under
@@ -163,6 +198,7 @@ type result struct {
 	latency        stats.Histogram
 	perEndpoint    map[string]*stats.Histogram
 	perEndpointOK  map[string]*atomic.Int64
+	perStage       map[string]*stats.Histogram // from Server-Timing headers
 	mu             sync.Mutex
 }
 
@@ -170,6 +206,7 @@ func newResult() *result {
 	return &result{
 		perEndpoint:   map[string]*stats.Histogram{},
 		perEndpointOK: map[string]*atomic.Int64{},
+		perStage:      map[string]*stats.Histogram{},
 	}
 }
 
@@ -183,6 +220,43 @@ func (r *result) endpointSlot(path string) (*stats.Histogram, *atomic.Int64) {
 		r.perEndpointOK[path] = &atomic.Int64{}
 	}
 	return h, r.perEndpointOK[path]
+}
+
+func (r *result) stageSlot(stage string) *stats.Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.perStage[stage]
+	if !ok {
+		h = &stats.Histogram{}
+		r.perStage[stage] = h
+	}
+	return h
+}
+
+// parseServerTiming extracts per-stage durations from a Server-Timing
+// header value ("stage;dur=1.23, ..." — dur in milliseconds, per the
+// header's RFC and the daemon's span exposition). Repeated stage names
+// accumulate.
+func parseServerTiming(h string) map[string]time.Duration {
+	if h == "" {
+		return nil
+	}
+	out := map[string]time.Duration{}
+	for _, part := range strings.Split(h, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ";")
+		if len(fields) < 2 {
+			continue
+		}
+		name := strings.TrimSpace(fields[0])
+		for _, f := range fields[1:] {
+			if v, ok := strings.CutPrefix(strings.TrimSpace(f), "dur="); ok {
+				if ms, err := strconv.ParseFloat(v, 64); err == nil {
+					out[name] += time.Duration(ms * float64(time.Millisecond))
+				}
+			}
+		}
+	}
+	return out
 }
 
 // buildRequests pre-marshals a pool of request bodies matching the
@@ -281,6 +355,9 @@ func run(base string, client *http.Client, reqs []canned, d time.Duration, o opt
 			res.latency.Observe(lat)
 			h.Observe(lat)
 			okCount.Add(1)
+			for stage, d := range parseServerTiming(resp.Header.Get("Server-Timing")) {
+				res.stageSlot(stage).Observe(d)
+			}
 		case resp.StatusCode == http.StatusServiceUnavailable:
 			res.shed.Add(1)
 		case o.chaos && resp.StatusCode >= http.StatusInternalServerError:
@@ -373,8 +450,43 @@ func printTable(o options, res *result) {
 		fmt.Sprintf("%.2f", float64(res.elems.Load())/secs/1e6),
 		fmtDur(agg.P50), fmtDur(agg.P95), fmtDur(agg.P99), fmtDur(agg.Max))
 	fmt.Println(t)
+	printStageTable(res)
 	fmt.Printf("shed(503)=%d errors=%d dropped=%d faulted(5xx)=%d\n",
 		res.shed.Load(), res.errs.Load(), res.dropped.Load(), res.faulted.Load())
+}
+
+// printStageTable prints the per-stage latency view assembled from the
+// daemon's Server-Timing response headers: where each request's time
+// went (queueing, coalescing, co-rank search, merging, writing).
+// Partition/merge rows are cumulative worker time, the rest wall time.
+func printStageTable(res *result) {
+	if len(res.perStage) == 0 {
+		return
+	}
+	t := harness.NewTable("per-stage spans (from Server-Timing)",
+		"stage", "count", "p50", "p95", "p99", "max")
+	order := server.StageNames()
+	for stage := range res.perStage {
+		known := false
+		for _, s := range order {
+			if s == stage {
+				known = true
+				break
+			}
+		}
+		if !known {
+			order = append(order, stage)
+		}
+	}
+	for _, stage := range order {
+		h, ok := res.perStage[stage]
+		if !ok {
+			continue
+		}
+		s := h.Snapshot()
+		t.Addf(stage, s.Count, fmtDur(s.P50), fmtDur(s.P95), fmtDur(s.P99), fmtDur(s.Max))
+	}
+	fmt.Println(t)
 }
 
 // benchDoc is the BENCH_server.json schema; keep fields append-only so
@@ -399,12 +511,22 @@ type benchDoc struct {
 		ElemPerSec  float64 `json:"elem_per_s"`
 		ElapsedSecs float64 `json:"elapsed_s"`
 	} `json:"totals"`
-	Latency       stats.HistogramSnapshot            `json:"latency"`
-	PerEndpoint   map[string]stats.HistogramSnapshot `json:"per_endpoint"`
-	ServerMetrics json.RawMessage                    `json:"server_metrics,omitempty"`
+	Latency     stats.HistogramSnapshot            `json:"latency"`
+	PerEndpoint map[string]stats.HistogramSnapshot `json:"per_endpoint"`
+	// Stages aggregates the daemon's per-request Server-Timing spans
+	// observed by the client: where request time went, by lifecycle
+	// stage.
+	Stages map[string]stats.HistogramSnapshot `json:"stages,omitempty"`
+	// Imbalance echoes the server's last-round per-worker load summary;
+	// ImbalanceMax/Mean are its running per-round aggregates. Theorem 5
+	// predicts ~1.0 for uncoalesced whole-pool rounds.
+	Imbalance     *stats.LoadSummary `json:"last_round_imbalance,omitempty"`
+	ImbalanceMax  float64            `json:"imbalance_max,omitempty"`
+	ImbalanceMean float64            `json:"imbalance_mean,omitempty"`
+	ServerMetrics json.RawMessage    `json:"server_metrics,omitempty"`
 }
 
-func writeJSON(o options, res *result, base string, client *http.Client) {
+func writeJSON(o options, res *result, base string, client *http.Client, snap *server.MetricsSnapshot) {
 	var doc benchDoc
 	doc.Config.Mode = "closed"
 	if o.rate > 0 {
@@ -429,6 +551,18 @@ func writeJSON(o options, res *result, base string, client *http.Client) {
 	doc.PerEndpoint = map[string]stats.HistogramSnapshot{}
 	for path, h := range res.perEndpoint {
 		doc.PerEndpoint[path] = h.Snapshot()
+	}
+	if len(res.perStage) > 0 {
+		doc.Stages = map[string]stats.HistogramSnapshot{}
+		for stage, h := range res.perStage {
+			doc.Stages[stage] = h.Snapshot()
+		}
+	}
+	if snap != nil {
+		lr := snap.Pool.LastRound
+		doc.Imbalance = &lr
+		doc.ImbalanceMax = snap.Pool.ImbalanceMax
+		doc.ImbalanceMean = snap.Pool.ImbalanceMean
 	}
 	// Attach the server's own view of the run when reachable.
 	if resp, err := client.Get(base + "/metrics"); err == nil {

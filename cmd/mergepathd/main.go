@@ -4,14 +4,17 @@
 // batch rounds (see internal/server).
 //
 // Endpoints: POST /v1/merge /v1/sort /v1/mergek /v1/setops /v1/select;
-// GET /healthz /metrics.
+// GET /healthz /metrics /metrics/prom. See docs/METRICS.md for the full
+// metric reference and README.md for the operator runbook.
 //
 // Usage:
 //
 //	mergepathd -addr :8080 -workers 8 -queue 256
+//	mergepathd -debug-addr localhost:6060          # pprof sidecar
+//	mergepathd -access-log                         # per-request span log
 //	mergepathd -fault 'sort:panic=0.05;*:latency=1ms@0.2'   # chaos mode
 //	curl -s localhost:8080/v1/merge -d '{"a":[1,3],"b":[2,4]}'
-//	curl -s localhost:8080/metrics
+//	curl -s localhost:8080/metrics/prom
 //
 // SIGINT/SIGTERM triggers a graceful drain: the listener stops, queued
 // and in-flight work completes, then the process exits.
@@ -24,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,6 +49,8 @@ func main() {
 		drainFor  = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
 		faultSpec = flag.String("fault", "", `fault injection spec, e.g. "merge:panic=0.01;*:latency=1ms@0.1" (chaos testing; empty = off)`)
 		faultSeed = flag.Int64("fault-seed", 1, "fault injection RNG seed")
+		debugAddr = flag.String("debug-addr", "", "listen address for the pprof debug server (empty = off); serves /debug/pprof/ only, keep it off public interfaces")
+		accessLog = flag.Bool("access-log", false, "log one structured line per request with its ID and per-stage span timings")
 	)
 	flag.Parse()
 
@@ -66,8 +72,28 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		RequestTimeout: *timeout,
 		Fault:          inj,
+		AccessLog:      *accessLog,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s}
+
+	// The pprof sidecar lives on its own listener so profiling can stay
+	// bound to localhost while the service listens publicly. Handlers
+	// are mounted on a private mux — never the service mux, never
+	// http.DefaultServeMux — so no deployment accidentally exposes it.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("debug server (pprof) on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

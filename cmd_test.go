@@ -88,9 +88,15 @@ func TestMergeloadE2E(t *testing.T) {
 	if err != nil {
 		t.Fatalf("mergeload -json wrote nothing: %v", err)
 	}
-	for _, key := range []string{`"req_per_s"`, `"p99_ns"`, `"server_metrics"`} {
+	// Latencies ride the wire in float milliseconds (`_ms`, the repo's
+	// JSON unit policy — docs/METRICS.md); the document also carries the
+	// per-stage span histograms and the round load-imbalance summary.
+	for _, key := range []string{`"req_per_s"`, `"p99_ms"`, `"server_metrics"`, `"stages"`, `"imbalance"`} {
 		if !strings.Contains(string(buf), key) {
 			t.Errorf("BENCH_server.json missing %s", key)
 		}
+	}
+	if strings.Contains(string(buf), "_ns\"") {
+		t.Error("BENCH_server.json still carries raw nanosecond fields; wire unit is milliseconds")
 	}
 }

@@ -25,14 +25,16 @@ import (
 	"cmp"
 	"sort"
 	"sync"
+	"time"
 
 	"mergepath/internal/core"
+	"mergepath/internal/stats"
 )
 
 // Pair is one merge job: A and B are sorted; Out receives the merge and
 // must have length len(A)+len(B).
 type Pair[T cmp.Ordered] struct {
-	A, B, Out []T
+	A, B, Out []T // sorted inputs A and B; Out receives their merge
 }
 
 // Merge merges every pair with p workers balanced over the total output
@@ -113,19 +115,39 @@ func MergeNaive[T cmp.Ordered](pairs []Pair[T], p int) {
 }
 
 // WorkerLoad reports what one worker of a globally balanced round did:
-// how many output elements it produced and how many distinct pairs (whole
-// or partial) it touched to produce them. The coalescing service layer
-// exports these per-round counts on its metrics surface.
+// how many output elements it produced, how many distinct pairs (whole
+// or partial) it touched to produce them, and how its time split between
+// diagonal/offset searches (partitioning) and sequential merge steps.
+// The coalescing service layer exports these per-round counts on its
+// metrics surface; durations follow the repository's JSON unit policy
+// (float milliseconds — see stats.Millis).
 type WorkerLoad struct {
-	Elements int `json:"elements"`
-	Pairs    int `json:"pairs"`
+	Elements int `json:"elements"` // output elements this worker produced
+	Pairs    int `json:"pairs"`    // distinct pairs (whole or partial) it touched
+	// SearchMS is time spent locating work: the offset-table binary
+	// search plus the per-pair diagonal (co-rank) searches.
+	SearchMS float64 `json:"search_ms"`
+	// MergeMS is time spent emitting output elements.
+	MergeMS float64 `json:"merge_ms"`
+}
+
+// Summarize condenses per-worker loads into the min/max/mean/imbalance
+// summary the metrics layer exports per round.
+func Summarize(loads []WorkerLoad) stats.LoadSummary {
+	elems := make([]int, len(loads))
+	for i, l := range loads {
+		elems[i] = l.Elements
+	}
+	return stats.SummarizeLoads(elems)
 }
 
 // MergeWithLoads is Merge plus observability: it performs the identical
 // globally balanced round and returns one WorkerLoad per worker actually
 // used (p is clamped to the total output size, like Merge). Elements are
 // always within one of total/p; Pairs shows how pair boundaries fell
-// across workers this round.
+// across workers this round; SearchMS/MergeMS split each worker's wall
+// time between partitioning (offset + diagonal searches) and merging, at
+// a cost of two clock reads per pair segment per worker.
 func MergeWithLoads[T cmp.Ordered](pairs []Pair[T], p int) []WorkerLoad {
 	if p < 1 {
 		panic("batch: worker count must be positive")
@@ -152,12 +174,41 @@ func MergeWithLoads[T cmp.Ordered](pairs []Pair[T], p int) []WorkerLoad {
 			defer wg.Done()
 			lo := w * total / p
 			hi := (w + 1) * total / p
-			loads[w] = WorkerLoad{Elements: hi - lo, Pairs: pairsSpanned(pairs, offsets, lo, hi)}
-			mergeGlobalRange(pairs, offsets, lo, hi)
+			search, merge := mergeGlobalRangeTimed(pairs, offsets, lo, hi)
+			loads[w] = WorkerLoad{
+				Elements: hi - lo,
+				Pairs:    pairsSpanned(pairs, offsets, lo, hi),
+				SearchMS: stats.Millis(search),
+				MergeMS:  stats.Millis(merge),
+			}
 		}(w)
 	}
 	wg.Wait()
 	return loads
+}
+
+// mergeGlobalRangeTimed is mergeGlobalRange with the partition/merge
+// time split measured. It is a separate copy so the untimed path
+// (Merge) stays free of clock reads.
+func mergeGlobalRangeTimed[T cmp.Ordered](pairs []Pair[T], offsets []int, lo, hi int) (search, merge time.Duration) {
+	t0 := time.Now()
+	i := sort.SearchInts(offsets, lo+1) - 1
+	search = time.Since(t0)
+	for ; lo < hi; i++ {
+		pr := pairs[i]
+		pLo := lo - offsets[i]
+		pHi := min(hi-offsets[i], len(pr.Out))
+		if pLo < pHi {
+			t0 = time.Now()
+			start := core.SearchDiagonal(pr.A, pr.B, pLo)
+			search += time.Since(t0)
+			t0 = time.Now()
+			core.MergeSteps(pr.A, pr.B, start, pHi-pLo, pr.Out[pLo:pHi])
+			merge += time.Since(t0)
+		}
+		lo = offsets[i] + len(pr.Out)
+	}
+	return search, merge
 }
 
 // pairsSpanned counts pairs whose non-empty output range intersects

@@ -5,6 +5,7 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // cancelCheckElems is how many output elements a worker produces between
@@ -13,6 +14,25 @@ import (
 // make that noise against ~64K merge steps while still bounding how long
 // a canceled 100M-element round keeps the pool busy.
 const cancelCheckElems = 1 << 16
+
+// WorkerStat reports one worker's share of an instrumented parallel
+// merge: how many output elements it produced and how its time split
+// between the cross-diagonal binary search (the co-rank step that
+// Theorem 5 charges O(log n) per worker) and the sequential merge loop
+// (the (|A|+|B|)/p steps of Algorithm 1). The ratio Search/Merge is the
+// partition overhead the paper argues is negligible; the Elements
+// spread across workers is its load-balance guarantee, directly
+// checkable per round.
+type WorkerStat struct {
+	// Elements is how many output elements this worker wrote. On a
+	// canceled round it counts only the chunks actually completed.
+	Elements int
+	// Search is the time spent in SearchDiagonal finding the worker's
+	// starting co-rank point.
+	Search time.Duration
+	// Merge is the time spent executing sequential merge steps.
+	Merge time.Duration
+}
 
 // ParallelMergeCtx is ParallelMerge with cooperative cancellation: each
 // worker executes its segment in chunks of cancelCheckElems output
@@ -25,6 +45,29 @@ const cancelCheckElems = 1 << 16
 // discarded. Panics exactly where ParallelMerge panics (p < 1, mis-sized
 // out).
 func ParallelMergeCtx[T cmp.Ordered](ctx context.Context, a, b, out []T, p int) error {
+	_, err := parallelMergeCtx(ctx, a, b, out, p, false)
+	return err
+}
+
+// ParallelMergeCtxStats is ParallelMergeCtx plus per-worker
+// observability: it performs the identical chunked cancellable merge and
+// additionally returns one WorkerStat per worker actually engaged (p is
+// clamped to the total output size, like ParallelMerge). The timing adds
+// two monotonic clock reads per chunk per worker — noise against the
+// 64K merge steps a chunk performs — so the service layer uses this
+// variant unconditionally for large partitioned rounds.
+//
+// The stats are returned even when the merge was abandoned (partial
+// counts, ctx error non-nil), so a canceled round still accounts the
+// work it burned.
+func ParallelMergeCtxStats[T cmp.Ordered](ctx context.Context, a, b, out []T, p int) ([]WorkerStat, error) {
+	return parallelMergeCtx(ctx, a, b, out, p, true)
+}
+
+// parallelMergeCtx is the shared engine of ParallelMergeCtx and
+// ParallelMergeCtxStats; timed selects whether per-worker search/merge
+// timing is collected (the returned slice is nil when it is not).
+func parallelMergeCtx[T cmp.Ordered](ctx context.Context, a, b, out []T, p int, timed bool) ([]WorkerStat, error) {
 	if p < 1 {
 		panic("core: worker count must be positive")
 	}
@@ -32,14 +75,21 @@ func ParallelMergeCtx[T cmp.Ordered](ctx context.Context, a, b, out []T, p int) 
 		panic("core: output length mismatch")
 	}
 	if err := ctx.Err(); err != nil {
-		return err
+		return nil, err
 	}
 	total := len(a) + len(b)
 	if total == 0 {
-		return nil
+		if timed {
+			return []WorkerStat{}, nil
+		}
+		return nil, nil
 	}
 	if p > total {
 		p = total
+	}
+	var ws []WorkerStat
+	if timed {
+		ws = make([]WorkerStat, p)
 	}
 	// stop is the shared abandon flag: the first worker to observe ctx
 	// done sets it, and every worker checks it at chunk boundaries —
@@ -52,7 +102,14 @@ func ParallelMergeCtx[T cmp.Ordered](ctx context.Context, a, b, out []T, p int) 
 			defer wg.Done()
 			lo := i * total / p
 			hi := (i + 1) * total / p
+			var t0 time.Time
+			if timed {
+				t0 = time.Now()
+			}
 			at := SearchDiagonal(a, b, lo)
+			if timed {
+				ws[i].Search = time.Since(t0)
+			}
 			for lo < hi {
 				if stop.Load() {
 					return
@@ -62,14 +119,21 @@ func ParallelMergeCtx[T cmp.Ordered](ctx context.Context, a, b, out []T, p int) 
 					return
 				}
 				end := min(lo+cancelCheckElems, hi)
+				if timed {
+					t0 = time.Now()
+				}
 				at = MergeSteps(a, b, at, end-lo, out[lo:end])
+				if timed {
+					ws[i].Merge += time.Since(t0)
+					ws[i].Elements += end - lo
+				}
 				lo = end
 			}
 		}(i)
 	}
 	wg.Wait()
 	if stop.Load() {
-		return ctx.Err()
+		return ws, ctx.Err()
 	}
-	return nil
+	return ws, nil
 }

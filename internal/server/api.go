@@ -12,54 +12,54 @@ import (
 
 // MergeRequest is the body of POST /v1/merge: two sorted arrays.
 type MergeRequest struct {
-	A []int64 `json:"a"`
-	B []int64 `json:"b"`
+	A []int64 `json:"a"` // first sorted input
+	B []int64 `json:"b"` // second sorted input
 }
 
 // MergeResponse carries the stable merge of A and B.
 type MergeResponse struct {
-	Result []int64 `json:"result"`
+	Result []int64 `json:"result"` // the merged array, len(A)+len(B) elements
 }
 
 // SortRequest is the body of POST /v1/sort: one unsorted array.
 type SortRequest struct {
-	Data []int64 `json:"data"`
+	Data []int64 `json:"data"` // elements to sort, any order
 }
 
 // SortResponse carries the sorted array.
 type SortResponse struct {
-	Result []int64 `json:"result"`
+	Result []int64 `json:"result"` // Data in ascending order
 }
 
 // MergeKRequest is the body of POST /v1/mergek: k sorted lists.
 type MergeKRequest struct {
-	Lists [][]int64 `json:"lists"`
+	Lists [][]int64 `json:"lists"` // each list individually sorted
 }
 
 // MergeKResponse carries the k-way merge (stable across lists).
 type MergeKResponse struct {
-	Result []int64 `json:"result"`
+	Result []int64 `json:"result"` // all lists merged into one sorted array
 }
 
 // SetOpsRequest is the body of POST /v1/setops. Op is one of "union",
 // "intersect", "diff"; A and B must be sorted.
 type SetOpsRequest struct {
-	Op string  `json:"op"`
-	A  []int64 `json:"a"`
-	B  []int64 `json:"b"`
+	Op string  `json:"op"` // "union", "intersect" or "diff"
+	A  []int64 `json:"a"`  // left sorted operand
+	B  []int64 `json:"b"`  // right sorted operand
 }
 
 // SetOpsResponse carries the sorted multiset result.
 type SetOpsResponse struct {
-	Result []int64 `json:"result"`
+	Result []int64 `json:"result"` // sorted multiset result of Op
 }
 
 // SelectRequest is the body of POST /v1/select: diagonal rank selection.
 // K is an output rank in [0, len(A)+len(B)].
 type SelectRequest struct {
-	A []int64 `json:"a"`
-	B []int64 `json:"b"`
-	K int     `json:"k"`
+	A []int64 `json:"a"` // first sorted input
+	B []int64 `json:"b"` // second sorted input
+	K int     `json:"k"` // output rank to locate, in [0, len(A)+len(B)]
 }
 
 // SelectResponse reports where the merge path crosses diagonal K: the
@@ -67,14 +67,14 @@ type SelectRequest struct {
 // K-th smallest of the union (the element at output rank K-1), present
 // when K >= 1.
 type SelectResponse struct {
-	ARank int    `json:"a_rank"`
-	BRank int    `json:"b_rank"`
-	Kth   *int64 `json:"kth,omitempty"`
+	ARank int    `json:"a_rank"`        // elements of A among the K smallest
+	BRank int    `json:"b_rank"`        // elements of B among the K smallest
+	Kth   *int64 `json:"kth,omitempty"` // the K-th smallest element; omitted when K == 0
 }
 
 // ErrorResponse is the body of every non-2xx reply.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error string `json:"error"` // human-readable failure description
 }
 
 func checkSorted(name string, s []int64) error {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mergepath/internal/batch"
+	"mergepath/internal/core"
 	"mergepath/internal/stats"
 )
 
@@ -15,6 +16,7 @@ import (
 type Metrics struct {
 	start     time.Time
 	endpoints map[string]*endpointMetrics // fixed key set, created up front
+	stages    map[string]*stats.Histogram // fixed key set: per-stage span latency
 
 	shed      atomic.Uint64 // 503s from the full admission queue
 	timeouts  atomic.Uint64 // jobs expired before or while queued
@@ -25,9 +27,14 @@ type Metrics struct {
 	batchRounds atomic.Uint64 // coalesced rounds executed
 	batchPairs  atomic.Uint64 // small requests coalesced into those rounds
 	batchElems  atomic.Uint64 // output elements merged by those rounds
+	runRounds   atomic.Uint64 // uncoalesced (whole-pool) rounds with load stats
 
 	mu            sync.Mutex
 	lastRoundLoad []batch.WorkerLoad // per-worker loads of the latest round
+	lastRound     stats.LoadSummary  // summary of the latest balanced round
+	imbMax        float64            // worst per-round imbalance ratio seen
+	imbSum        float64            // running sum of per-round imbalance ratios
+	imbCount      uint64             // rounds contributing to imbSum
 }
 
 type endpointMetrics struct {
@@ -42,11 +49,62 @@ var endpointNames = []string{"merge", "sort", "mergek", "setops", "select"}
 
 // NewMetrics returns a zeroed metrics registry.
 func NewMetrics() *Metrics {
-	m := &Metrics{start: time.Now(), endpoints: make(map[string]*endpointMetrics, len(endpointNames))}
+	m := &Metrics{
+		start:     time.Now(),
+		endpoints: make(map[string]*endpointMetrics, len(endpointNames)),
+		stages:    make(map[string]*stats.Histogram, len(stageNames)),
+	}
 	for _, name := range endpointNames {
 		m.endpoints[name] = &endpointMetrics{}
 	}
+	for _, name := range stageNames {
+		m.stages[name] = &stats.Histogram{}
+	}
 	return m
+}
+
+// observeSpans folds one request's spans into the per-stage latency
+// histograms. Unknown stage names are dropped (fixed key set, like
+// endpoints).
+func (m *Metrics) observeSpans(spans []Span) {
+	for _, sp := range spans {
+		if h, ok := m.stages[sp.Stage]; ok {
+			h.Observe(sp.Dur)
+		}
+	}
+}
+
+// noteRound records the load summary of one globally balanced round —
+// coalesced batch or whole-pool — updating the latest summary and the
+// running max/mean imbalance that /metrics exports.
+func (m *Metrics) noteRound(s stats.LoadSummary) {
+	if s.Workers == 0 {
+		return
+	}
+	m.mu.Lock()
+	m.lastRound = s
+	if s.Imbalance > m.imbMax {
+		m.imbMax = s.Imbalance
+	}
+	m.imbSum += s.Imbalance
+	m.imbCount++
+	m.mu.Unlock()
+}
+
+// noteImbalance records a bare imbalance ratio (no per-worker element
+// detail — e.g. a sort's worst merge round) against the running max and
+// mean. Zero means "no balanced round ran" and is skipped.
+func (m *Metrics) noteImbalance(imb float64) {
+	if imb <= 0 {
+		return
+	}
+	m.mu.Lock()
+	if imb > m.imbMax {
+		m.imbMax = imb
+	}
+	m.imbSum += imb
+	m.imbCount++
+	m.mu.Unlock()
 }
 
 // observe records one finished request against an endpoint. Only 2xx
@@ -75,22 +133,37 @@ func (m *Metrics) recordBatchRound(pairs, elems int, loads []batch.WorkerLoad) {
 	m.mu.Lock()
 	m.lastRoundLoad = loads
 	m.mu.Unlock()
+	m.noteRound(batch.Summarize(loads))
+}
+
+// recordRunRound records the per-worker stats of one uncoalesced
+// whole-pool round (large merge) against the imbalance metrics.
+func (m *Metrics) recordRunRound(ws []core.WorkerStat) {
+	if len(ws) == 0 {
+		return
+	}
+	m.runRounds.Add(1)
+	elems := make([]int, len(ws))
+	for i, w := range ws {
+		elems[i] = w.Elements
+	}
+	m.noteRound(stats.SummarizeLoads(elems))
 }
 
 // EndpointSnapshot is one endpoint's row in the /metrics JSON.
 type EndpointSnapshot struct {
-	Count   uint64                  `json:"count"`
-	Err4xx  uint64                  `json:"errors_4xx"`
-	Err5xx  uint64                  `json:"errors_5xx"`
-	Latency stats.HistogramSnapshot `json:"latency"`
+	Count   uint64                  `json:"count"`      // requests finished, all statuses
+	Err4xx  uint64                  `json:"errors_4xx"` // client-error responses
+	Err5xx  uint64                  `json:"errors_5xx"` // server-error responses
+	Latency stats.HistogramSnapshot `json:"latency"`    // successful requests only
 }
 
 // QueueSnapshot describes admission control state.
 type QueueSnapshot struct {
-	Depth    int    `json:"depth"`
-	Capacity int    `json:"capacity"`
-	Shed     uint64 `json:"shed_total"`
-	Timeouts uint64 `json:"timeouts_total"`
+	Depth    int    `json:"depth"`          // jobs currently queued
+	Capacity int    `json:"capacity"`       // queue bound; full queue sheds 503
+	Shed     uint64 `json:"shed_total"`     // requests refused with 503
+	Timeouts uint64 `json:"timeouts_total"` // deadlines expired before completion (504)
 	// Canceled counts requests abandoned by their client (disconnect or
 	// explicit cancel) — deliberately separate from Timeouts: a cancel is
 	// the client's choice, not a server SLO violation.
@@ -103,26 +176,45 @@ type QueueSnapshot struct {
 
 // PoolSnapshot describes the worker pool and the coalescing path.
 type PoolSnapshot struct {
-	Workers       int                `json:"workers"`
-	Utilization   float64            `json:"utilization"`
-	BusySeconds   float64            `json:"busy_seconds"`
-	BatchRounds   uint64             `json:"batch_rounds"`
-	BatchPairs    uint64             `json:"batch_pairs"`
-	BatchElems    uint64             `json:"batch_elements"`
-	PairsPerRound float64            `json:"pairs_per_round"`
-	LastRoundLoad []batch.WorkerLoad `json:"last_round_loads,omitempty"`
+	Workers       int                `json:"workers"`                    // fixed pool size
+	Utilization   float64            `json:"utilization"`                // fraction of uptime spent in rounds
+	BusySeconds   float64            `json:"busy_seconds"`               // total round-execution time
+	BatchRounds   uint64             `json:"batch_rounds"`               // coalesced rounds executed
+	BatchPairs    uint64             `json:"batch_pairs"`                // small merges coalesced into them
+	BatchElems    uint64             `json:"batch_elements"`             // output elements those rounds produced
+	PairsPerRound float64            `json:"pairs_per_round"`            // mean coalescing factor
+	LastRoundLoad []batch.WorkerLoad `json:"last_round_loads,omitempty"` // per-worker detail of the latest coalesced round
+	// RunRounds counts uncoalesced whole-pool rounds (large merges) that
+	// reported per-worker load stats.
+	RunRounds uint64 `json:"run_rounds"`
+	// LastRound summarizes the per-worker element counts of the latest
+	// balanced round (coalesced or whole-pool): min/max/mean elements
+	// per worker and the max/min imbalance ratio. Theorem 5 predicts
+	// Imbalance ~1.0 for every uncoalesced round.
+	LastRound stats.LoadSummary `json:"last_round"`
+	// ImbalanceMax is the worst per-round imbalance ratio since start.
+	ImbalanceMax float64 `json:"imbalance_max"`
+	// ImbalanceMean is the mean per-round imbalance ratio since start.
+	ImbalanceMean float64 `json:"imbalance_mean"`
 	// PanicsRecovered counts request-induced panics caught inside rounds
 	// and converted to per-job 500s; nonzero means a request found a bug
 	// (or the fault injector is on) but the daemon survived it.
 	PanicsRecovered uint64 `json:"panics_recovered"`
 }
 
-// MetricsSnapshot is the /metrics JSON document.
+// MetricsSnapshot is the /metrics JSON document. The same numbers back
+// the Prometheus exposition on /metrics/prom (rendered from this struct
+// so the two surfaces cannot drift).
 type MetricsSnapshot struct {
-	UptimeSeconds float64                     `json:"uptime_seconds"`
-	Queue         QueueSnapshot               `json:"queue"`
-	Pool          PoolSnapshot                `json:"pool"`
-	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+	UptimeSeconds float64                     `json:"uptime_seconds"` // seconds since the server started
+	Queue         QueueSnapshot               `json:"queue"`          // admission-control state
+	Pool          PoolSnapshot                `json:"pool"`           // worker pool, rounds, load balance
+	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`      // per-endpoint counters and latency
+	// Stages aggregates per-request lifecycle spans: one latency
+	// histogram per stage (see the Stage* constants and docs/METRICS.md
+	// for semantics; partition and merge record cumulative worker time,
+	// everything else wall time).
+	Stages map[string]stats.HistogramSnapshot `json:"stages"`
 }
 
 // snapshot assembles the exported document. p supplies live queue/worker
@@ -140,9 +232,11 @@ func (m *Metrics) snapshot(p *pool) MetricsSnapshot {
 			BatchRounds:     m.batchRounds.Load(),
 			BatchPairs:      m.batchPairs.Load(),
 			BatchElems:      m.batchElems.Load(),
+			RunRounds:       m.runRounds.Load(),
 			PanicsRecovered: m.panics.Load(),
 		},
 		Endpoints: make(map[string]EndpointSnapshot, len(m.endpoints)),
+		Stages:    make(map[string]stats.HistogramSnapshot, len(m.stages)),
 	}
 	if rounds := s.Pool.BatchRounds; rounds > 0 {
 		s.Pool.PairsPerRound = float64(s.Pool.BatchPairs) / float64(rounds)
@@ -158,6 +252,11 @@ func (m *Metrics) snapshot(p *pool) MetricsSnapshot {
 	}
 	m.mu.Lock()
 	s.Pool.LastRoundLoad = append([]batch.WorkerLoad(nil), m.lastRoundLoad...)
+	s.Pool.LastRound = m.lastRound
+	s.Pool.ImbalanceMax = m.imbMax
+	if m.imbCount > 0 {
+		s.Pool.ImbalanceMean = m.imbSum / float64(m.imbCount)
+	}
 	m.mu.Unlock()
 	for name, e := range m.endpoints {
 		s.Endpoints[name] = EndpointSnapshot{
@@ -166,6 +265,9 @@ func (m *Metrics) snapshot(p *pool) MetricsSnapshot {
 			Err5xx:  e.err5xx.Load(),
 			Latency: e.latency.Snapshot(),
 		}
+	}
+	for name, h := range m.stages {
+		s.Stages[name] = h.Snapshot()
 	}
 	return s
 }

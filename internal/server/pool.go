@@ -34,8 +34,11 @@ var (
 // PanicError is a panic recovered inside a round, converted to a per-job
 // error so one poisoned request cannot take down the dispatcher or its
 // round-mates. The handlers map it to 500.
-type PanicError struct{ Value any }
+type PanicError struct {
+	Value any // the recovered panic value
+}
 
+// Error renders the recovered panic value.
 func (e *PanicError) Error() string { return fmt.Sprintf("server: round panicked: %v", e.Value) }
 
 // job is one unit of admitted work. Exactly one of pair/run is set:
@@ -46,12 +49,15 @@ func (e *PanicError) Error() string { return fmt.Sprintf("server: round panicked
 // chunk boundaries; a non-nil return fails the job (ctx errors are
 // normalized to ErrCanceled/ErrDeadline, anything else maps to 500).
 type job struct {
-	pair     *batch.Pair[int64]
-	run      func(ctx context.Context, workers int) error
-	fault    func() error // optional injection hook (internal/fault); runs inside recovery
-	ctx      context.Context
-	deadline time.Time
-	done     chan error // buffered(1): the dispatcher never blocks on it
+	pair      *batch.Pair[int64]
+	run       func(ctx context.Context, workers int) error
+	fault     func() error // optional injection hook (internal/fault); runs inside recovery
+	ctx       context.Context
+	deadline  time.Time
+	done      chan error // buffered(1): the dispatcher never blocks on it
+	trace     *Trace     // nil-safe span sink; nil for untraced work
+	submitted time.Time  // when the job entered the admission queue
+	parked    time.Time  // when a pair job entered the pending buffer
 }
 
 // expired reports whether the job's deadline has passed at now.
@@ -145,6 +151,7 @@ func (p *pool) do(ctx context.Context, j *job) error {
 	if dl, ok := ctx.Deadline(); ok {
 		j.deadline = dl
 	}
+	j.submitted = time.Now()
 	if err := p.submit(j); err != nil {
 		return err
 	}
@@ -204,6 +211,7 @@ func (p *pool) dispatch() {
 	}
 	handle := func(j *job) {
 		p.queueDepth.Add(-1)
+		j.trace.span(StageQueueWait, j.submitted)
 		// Expired or abandoned while queued: drop it unexecuted. The
 		// handler (or its abandoned ctx wait) accounts the timeout or
 		// cancel; doing it here too would double count.
@@ -216,6 +224,7 @@ func (p *pool) dispatch() {
 			return
 		}
 		if j.pair != nil {
+			j.parked = time.Now()
 			pending = append(pending, j)
 			pendingElems += len(j.pair.Out)
 			if pendingElems >= p.batchElems {
@@ -254,7 +263,7 @@ func (p *pool) dispatch() {
 func (p *pool) runRound(j *job) (err error) {
 	defer func() {
 		if v := recover(); v != nil {
-			err = p.recovered(v)
+			err = p.recovered(v, j.trace.ID())
 		}
 	}()
 	if j.fault != nil {
@@ -276,15 +285,20 @@ func (p *pool) runRound(j *job) (err error) {
 const panicStackLogLimit = 5
 
 // recovered converts a round panic into a job error: counted, stack
-// logged (rate-limited), dispatcher alive.
-func (p *pool) recovered(v any) error {
+// logged (rate-limited), dispatcher alive. reqID ties the log line to
+// the offending request's trace ("" for shared batch rounds, where no
+// single request owns the round yet).
+func (p *pool) recovered(v any, reqID string) error {
 	if p.m != nil {
 		p.m.panics.Add(1)
 	}
+	if reqID == "" {
+		reqID = "-"
+	}
 	if n := p.panicLogs.Add(1); n <= panicStackLogLimit {
-		log.Printf("server: recovered panic in round: %v\n%s", v, debug.Stack())
+		log.Printf("server: recovered panic in round (req=%s): %v\n%s", reqID, v, debug.Stack())
 	} else {
-		log.Printf("server: recovered panic in round: %v (stacks suppressed after %d)", v, panicStackLogLimit)
+		log.Printf("server: recovered panic in round (req=%s): %v (stacks suppressed after %d)", reqID, v, panicStackLogLimit)
 	}
 	return &PanicError{Value: v}
 }
@@ -311,6 +325,7 @@ func (p *pool) runBatch(jobs []*job) {
 	now := time.Now()
 	live := make([]*job, 0, len(jobs))
 	for _, j := range jobs {
+		j.trace.span(StageCoalesceWait, j.parked)
 		switch {
 		case j.expired(now):
 			if p.m != nil {
@@ -346,7 +361,7 @@ func (p *pool) runBatch(jobs []*job) {
 		// individually, each under its own recovery, so only the
 		// culprit's job fails.
 		for _, j := range live {
-			j.done <- p.safeMergeOne(j.pair)
+			j.done <- p.safeMergeOne(j)
 		}
 		p.busyNanos.Add(time.Since(start).Nanoseconds())
 		return
@@ -355,7 +370,19 @@ func (p *pool) runBatch(jobs []*job) {
 	if p.m != nil {
 		p.m.recordBatchRound(len(pairs), elems, loads)
 	}
+	// Round-level spans: the coalesced round is shared, so every member
+	// request gets the round's cumulative worker time for the partition
+	// (diagonal + offset searches) and merge stages.
+	var searchMS, mergeMS float64
+	for _, l := range loads {
+		searchMS += l.SearchMS
+		mergeMS += l.MergeMS
+	}
+	searchDur := time.Duration(searchMS * float64(time.Millisecond))
+	mergeDur := time.Duration(mergeMS * float64(time.Millisecond))
 	for _, j := range live {
+		j.trace.add(StagePartition, start, searchDur)
+		j.trace.add(StageMerge, start, mergeDur)
 		j.done <- nil
 	}
 }
@@ -368,7 +395,7 @@ func (p *pool) runPairFault(j *job) (err error) {
 	}
 	defer func() {
 		if v := recover(); v != nil {
-			err = p.recovered(v)
+			err = p.recovered(v, j.trace.ID())
 		}
 	}()
 	return j.fault()
@@ -378,7 +405,7 @@ func (p *pool) runPairFault(j *job) (err error) {
 func (p *pool) safeBatchMerge(pairs []batch.Pair[int64]) (loads []batch.WorkerLoad, err error) {
 	defer func() {
 		if v := recover(); v != nil {
-			err = p.recovered(v)
+			err = p.recovered(v, "")
 		}
 	}()
 	return batch.MergeWithLoads(pairs, p.workers), nil
@@ -387,13 +414,13 @@ func (p *pool) safeBatchMerge(pairs []batch.Pair[int64]) (loads []batch.WorkerLo
 // safeMergeOne re-merges a single quarantined pair sequentially behind
 // panic recovery. Pairs are small by construction (they passed the
 // coalesce limit), so losing parallelism on this salvage path is cheap.
-func (p *pool) safeMergeOne(pr *batch.Pair[int64]) (err error) {
+func (p *pool) safeMergeOne(j *job) (err error) {
 	defer func() {
 		if v := recover(); v != nil {
-			err = p.recovered(v)
+			err = p.recovered(v, j.trace.ID())
 		}
 	}()
-	core.Merge(pr.A, pr.B, pr.Out)
+	core.Merge(j.pair.A, j.pair.B, j.pair.Out)
 	return nil
 }
 

@@ -19,6 +19,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"log"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -70,6 +71,11 @@ type Config struct {
 	// execution keyed by op (internal/fault) — chaos testing for the
 	// panic-isolation and cancellation machinery. Nil in production.
 	Fault *fault.Injector
+	// AccessLog, when true, writes one structured (key=value) log line
+	// per finished request with its ID, endpoint, status and per-stage
+	// span timings. Off by default: the spans still reach /metrics and
+	// the Server-Timing header either way.
+	AccessLog bool
 }
 
 func (c Config) withDefaults() Config {
@@ -120,9 +126,11 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/select", s.route("select", s.handleSelect))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics/prom", s.handleMetricsProm)
 	return s
 }
 
+// ServeHTTP implements http.Handler by dispatching to the service mux.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // Metrics exposes the registry (the daemon logs a summary on exit).
@@ -144,27 +152,49 @@ func (s *Server) Drain(ctx context.Context) error {
 	return s.pool.close(ctx)
 }
 
-// route wraps an endpoint handler with the shared envelope: JSON
-// response encoding, and per-endpoint count/latency metrics.
+// route wraps an endpoint handler with the shared envelope: request-ID
+// assignment, per-stage tracing, JSON response encoding, Server-Timing
+// exposition, per-endpoint count/latency metrics, and the optional
+// structured access log.
 func (s *Server) route(endpoint string, h func(*http.Request) (int, any)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = nextRequestID()
+		}
+		tr := newTrace(id, start)
+		r = r.WithContext(withTrace(r.Context(), tr))
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		status, body := h(r)
-		s.m.observe(endpoint, status, time.Since(start))
 		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Request-Id", id)
+		if st := tr.serverTiming(); st != "" {
+			w.Header().Set("Server-Timing", st)
+		}
 		if status == http.StatusServiceUnavailable {
 			w.Header().Set("Retry-After", "1")
 		}
+		wstart := time.Now()
 		w.WriteHeader(status)
 		_ = json.NewEncoder(w).Encode(body)
+		tr.span(StageWrite, wstart)
+		total := time.Since(start)
+		s.m.observe(endpoint, status, total)
+		s.m.observeSpans(tr.Spans())
+		if s.cfg.AccessLog {
+			log.Print("server: ", tr.logLine(endpoint, status, total))
+		}
 	}
 }
 
 // decode parses the body, distinguishing oversized (413) from malformed
-// (400). A nil error return means req is populated.
+// (400). A nil error return means req is populated. The body read +
+// parse is recorded as the request's decode span.
 func decode(r *http.Request, req any) (int, error) {
+	t0 := time.Now()
 	err := json.NewDecoder(r.Body).Decode(req)
+	traceFrom(r.Context()).span(StageDecode, t0)
 	if err == nil {
 		return http.StatusOK, nil
 	}
@@ -203,14 +233,31 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 	return ctx, cancel, nil
 }
 
-// newJob allocates a job for an endpoint op, attaching the fault
-// injector's hook when chaos is configured.
-func (s *Server) newJob(op string) *job {
-	j := &job{done: make(chan error, 1)}
+// newJob allocates a job for an endpoint op, attaching the request's
+// trace and, when chaos is configured, the fault injector's hook.
+func (s *Server) newJob(op string, r *http.Request) *job {
+	j := &job{done: make(chan error, 1), trace: traceFrom(r.Context())}
 	if inj := s.cfg.Fault; inj != nil {
 		j.fault = func() error { return inj.Before(op) }
 	}
 	return j
+}
+
+// noteRunStats folds a whole-pool round's per-worker stats into the
+// request trace (partition/merge spans carrying cumulative worker time)
+// and the load-imbalance metrics. began is when the round started.
+func (s *Server) noteRunStats(tr *Trace, began time.Time, ws []core.WorkerStat) {
+	if len(ws) == 0 {
+		return
+	}
+	var search, merge time.Duration
+	for _, w := range ws {
+		search += w.Search
+		merge += w.Merge
+	}
+	tr.add(StagePartition, began, search)
+	tr.add(StageMerge, began, merge)
+	s.m.recordRunRound(ws)
 }
 
 // execute runs a job through admission control and maps pool errors to
@@ -224,7 +271,9 @@ func (s *Server) execute(r *http.Request, j *job) (int, error) {
 		return http.StatusBadRequest, err
 	}
 	defer cancel()
+	t0 := time.Now()
 	err = s.pool.do(ctx, j)
+	j.trace.span(StageExecute, t0)
 	switch {
 	case err == nil:
 		return 0, nil
@@ -258,13 +307,21 @@ func (s *Server) handleMerge(r *http.Request) (int, any) {
 		return http.StatusBadRequest, errBody(err)
 	}
 	out := make([]int64, len(req.A)+len(req.B))
-	j := s.newJob("merge")
+	j := s.newJob("merge", r)
 	if len(out) <= s.cfg.CoalesceLimit {
 		j.pair = &batch.Pair[int64]{A: req.A, B: req.B, Out: out}
 	} else {
+		// Large merges take the instrumented whole-pool path: per-worker
+		// search/merge timings become partition/merge spans and the
+		// round's element spread feeds the imbalance metrics (the
+		// Theorem 5 check: it should sit at ~1.0).
 		a, b := req.A, req.B
+		tr := j.trace
 		j.run = func(ctx context.Context, workers int) error {
-			return core.ParallelMergeCtx(ctx, a, b, out, workers)
+			began := time.Now()
+			ws, err := core.ParallelMergeCtxStats(ctx, a, b, out, workers)
+			s.noteRunStats(tr, began, ws)
+			return err
 		}
 	}
 	if status, err := s.execute(r, j); err != nil {
@@ -279,9 +336,18 @@ func (s *Server) handleSort(r *http.Request) (int, any) {
 		return status, errBody(err)
 	}
 	data := req.Data
-	j := s.newJob("sort")
+	j := s.newJob("sort", r)
+	tr := j.trace
 	j.run = func(ctx context.Context, workers int) error {
-		return psort.SortCtx(ctx, data, workers)
+		began := time.Now()
+		st, err := psort.SortCtxStats(ctx, data, workers)
+		// Partition = co-rank searches; merge = run sorting + merge
+		// steps (both are element-processing work). Imbalance: worst
+		// phase-2 round.
+		tr.add(StagePartition, began, st.Search)
+		tr.add(StageMerge, began, st.RunSort+st.Merge)
+		s.m.noteImbalance(st.MaxImbalance)
+		return err
 	}
 	if status, err := s.execute(r, j); err != nil {
 		return status, errBody(err)
@@ -301,7 +367,7 @@ func (s *Server) handleMergeK(r *http.Request) (int, any) {
 	}
 	var result []int64
 	lists := req.Lists
-	j := s.newJob("mergek")
+	j := s.newJob("mergek", r)
 	// kway rounds are not chunk-cancellable yet; observe ctx at the round
 	// boundary so an abandoned job at least never starts.
 	j.run = func(ctx context.Context, workers int) error {
@@ -341,7 +407,7 @@ func (s *Server) handleSetOps(r *http.Request) (int, any) {
 	}
 	var result []int64
 	a, b := req.A, req.B
-	j := s.newJob("setops")
+	j := s.newJob("setops", r)
 	j.run = func(ctx context.Context, workers int) error {
 		if err := ctx.Err(); err != nil {
 			return err

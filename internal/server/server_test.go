@@ -373,7 +373,7 @@ func TestHealthzAndMetrics(t *testing.T) {
 	if em.Count != 6 || em.Err4xx != 1 {
 		t.Errorf("merge endpoint: count=%d err4xx=%d, want 6/1", em.Count, em.Err4xx)
 	}
-	if em.Latency.Count != 5 || em.Latency.P95 < em.Latency.P50 {
+	if em.Latency.Count != 5 || em.Latency.P95MS < em.Latency.P50MS {
 		t.Errorf("latency histogram off: %+v", em.Latency)
 	}
 	if snap.Pool.Workers != s.Workers() || snap.Queue.Capacity == 0 {

@@ -1,0 +1,53 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSummarizeLoads(t *testing.T) {
+	cases := []struct {
+		name  string
+		elems []int
+		want  LoadSummary
+	}{
+		{"empty", nil, LoadSummary{}},
+		{"perfect", []int{5, 5, 5}, LoadSummary{Workers: 3, Min: 5, Max: 5, Mean: 5, Imbalance: 1}},
+		{"skewed", []int{2, 4}, LoadSummary{Workers: 2, Min: 2, Max: 4, Mean: 3, Imbalance: 2}},
+		// A starved worker makes max/min undefined; the documented rule
+		// reports float64(Max) so the ratio stays finite and encodable.
+		{"starved", []int{0, 10}, LoadSummary{Workers: 2, Max: 10, Mean: 5, Imbalance: 10}},
+		{"all-idle", []int{0, 0}, LoadSummary{Workers: 2, Imbalance: 1}},
+	}
+	for _, c := range cases {
+		if got := SummarizeLoads(c.elems); got != c.want {
+			t.Errorf("%s: SummarizeLoads(%v) = %+v, want %+v", c.name, c.elems, got, c.want)
+		}
+	}
+}
+
+func TestMillis(t *testing.T) {
+	if got := Millis(1500 * time.Microsecond); got != 1.5 {
+		t.Errorf("Millis(1.5ms) = %v, want 1.5", got)
+	}
+	if got := Millis(0); got != 0 {
+		t.Errorf("Millis(0) = %v, want 0", got)
+	}
+}
+
+func TestHistogramSumAndWireFields(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond} {
+		h.Observe(d)
+	}
+	if got := h.Sum(); got != 6*time.Millisecond {
+		t.Errorf("Sum = %v, want 6ms", got)
+	}
+	snap := h.Snapshot()
+	if snap.SumMS != 6 {
+		t.Errorf("SumMS = %v, want 6", snap.SumMS)
+	}
+	if snap.MeanMS != Millis(snap.Mean) || snap.P99MS != Millis(snap.P99) {
+		t.Errorf("wire fields diverge from Duration fields: %+v", snap)
+	}
+}

@@ -126,6 +126,10 @@ func (h *Histogram) Observe(d time.Duration) {
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
+// Sum returns the total of all observations — with Count, the pair a
+// Prometheus summary needs for its _sum/_count series.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
 // Mean returns the arithmetic mean of all observations.
 func (h *Histogram) Mean() time.Duration {
 	n := h.count.Load()
@@ -167,23 +171,39 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return bucketLower(histBuckets - 1)
 }
 
-// HistogramSnapshot is a point-in-time JSON-friendly summary.
+// Millis converts a duration to float milliseconds — THE unit
+// conversion point for every JSON surface in this repository. The unit
+// policy (documented in docs/METRICS.md) is: Go APIs carry
+// time.Duration (unit-safe, nanosecond resolution); JSON documents
+// carry float64 milliseconds with an `_ms` suffix, matching the unit
+// the flags and the X-Timeout-Ms header already speak; the Prometheus
+// exposition carries seconds, per Prometheus convention. Nothing else
+// may convert units ad hoc.
+func Millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// HistogramSnapshot is a point-in-time summary of a Histogram. The Go
+// fields are time.Duration for unit-safe programmatic use and are NOT
+// serialized; the wire carries only the float millisecond fields (see
+// Millis for the unit policy).
 type HistogramSnapshot struct {
-	Count  uint64        `json:"count"`
-	Mean   time.Duration `json:"mean_ns"`
-	P50    time.Duration `json:"p50_ns"`
-	P95    time.Duration `json:"p95_ns"`
-	P99    time.Duration `json:"p99_ns"`
-	Max    time.Duration `json:"max_ns"`
-	MeanMS float64       `json:"mean_ms"`
-	P50MS  float64       `json:"p50_ms"`
-	P95MS  float64       `json:"p95_ms"`
-	P99MS  float64       `json:"p99_ms"`
+	// Count is the number of observations.
+	Count uint64 `json:"count"`
+	// Mean, P50, P95, P99, Max and Sum are the duration-typed summary
+	// statistics for Go consumers; JSON readers use the _ms fields.
+	Mean, P50, P95, P99, Max, Sum time.Duration `json:"-"`
+	// The _ms fields are the wire form of the durations above, in float
+	// milliseconds (see Millis for the unit policy).
+	MeanMS float64 `json:"mean_ms"` // wire form of Mean
+	P50MS  float64 `json:"p50_ms"`  // wire form of P50
+	P95MS  float64 `json:"p95_ms"`  // wire form of P95
+	P99MS  float64 `json:"p99_ms"`  // wire form of P99
+	MaxMS  float64 `json:"max_ms"`  // wire form of Max
+	SumMS  float64 `json:"sum_ms"`  // wire form of Sum
 }
 
-// Snapshot captures count, mean, p50/p95/p99 and max in one read pass.
+// Snapshot captures count, sum, mean, p50/p95/p99 and max in one read
+// pass.
 func (h *Histogram) Snapshot() HistogramSnapshot {
-	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	s := HistogramSnapshot{
 		Count: h.Count(),
 		Mean:  h.Mean(),
@@ -191,7 +211,9 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		P95:   h.Quantile(0.95),
 		P99:   h.Quantile(0.99),
 		Max:   h.Max(),
+		Sum:   h.Sum(),
 	}
-	s.MeanMS, s.P50MS, s.P95MS, s.P99MS = ms(s.Mean), ms(s.P50), ms(s.P95), ms(s.P99)
+	s.MeanMS, s.P50MS, s.P95MS = Millis(s.Mean), Millis(s.P50), Millis(s.P95)
+	s.P99MS, s.MaxMS, s.SumMS = Millis(s.P99), Millis(s.Max), Millis(s.Sum)
 	return s
 }

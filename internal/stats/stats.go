@@ -11,7 +11,7 @@ import (
 
 // Sample is a collection of repeated measurements of one configuration.
 type Sample struct {
-	Durations []time.Duration
+	Durations []time.Duration // one entry per measured repetition
 }
 
 // Measure runs f reps times after warmup warm-up runs and returns the

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify cover bench experiments fmt serve loadtest chaos lint-docs
+.PHONY: all build vet test race verify cover bench experiments fmt serve loadtest chaos soak lint-docs
 
 all: build vet test
 
@@ -18,17 +18,20 @@ test:
 race: vet
 	$(GO) test -race ./internal/core ./internal/psort ./internal/spm \
 		./internal/kway ./internal/setops ./internal/sched ./internal/baseline \
-		./internal/server ./internal/batch ./internal/stats ./internal/fault
+		./internal/server ./internal/batch ./internal/stats ./internal/fault \
+		./internal/overload ./internal/resilience
 
 # Godoc audit: every exported identifier in the service-facing packages
 # must carry a doc comment (see cmd/lintdocs). Fails listing each gap.
 lint-docs:
 	$(GO) run ./cmd/lintdocs ./internal/server ./internal/core \
-		./internal/batch ./internal/stats
+		./internal/batch ./internal/stats ./internal/overload \
+		./internal/resilience
 
 # Full pre-merge gate: build, vet, unit tests, godoc audit, race suite
 # (which includes the fault-injection lifecycle tests in internal/server
 # and internal/fault), and a chaos pass against a live in-process daemon.
+# The longer overload/breaker soak is its own target (`make soak`).
 verify: build vet test lint-docs race chaos
 
 cover:
@@ -52,12 +55,25 @@ serve:
 	$(GO) run ./cmd/mergepathd -addr :8080
 
 # Closed-loop load test against an in-process daemon; the JSON summary is
-# the service-throughput benchmark artifact tracked across PRs.
+# the service-throughput benchmark artifact tracked across PRs. The run
+# deliberately overdrives a tight overload target through the resilient
+# client so the artifact records the whole control loop: degradation
+# timeline, 429s with honored Retry-After, hedges, breaker cycles (X14).
 loadtest:
-	$(GO) run ./cmd/mergeload -duration 5s -conc 16 -dist skew -json BENCH_server.json
+	$(GO) run ./cmd/mergeload -duration 5s -conc 64 -size 4096 -dist skew \
+		-resilient -hedge-after 25ms -overload-target 2ms -overload-interval 50ms \
+		-json BENCH_server.json
 
 # Chaos pass: full load run with fault injection (panics, errors, latency)
 # against an in-process daemon; fails if the daemon dies or no panic was
 # actually recovered.
 chaos:
 	$(GO) run ./cmd/mergeload -chaos -duration 3s -conc 16 -dist skew
+
+# Overload/resilience soak: 60 seconds of injected latency under -race.
+# Drives the full control loop — healthy -> degraded -> shedding with
+# computed Retry-After 429s, client breaker open -> half-open -> closed
+# after the fault clears — and fails on any wrong merge byte. The same
+# test runs for a few seconds in the plain `test`/`race` targets.
+soak:
+	MERGEPATH_SOAK=60s $(GO) test -race -run TestChaosSoak -v -timeout 10m ./internal/server

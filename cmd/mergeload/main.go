@@ -15,6 +15,8 @@
 //	mergeload -url http://localhost:8080 -rate 2000 -endpoint mergek
 //	mergeload -json BENCH_server.json
 //	mergeload -chaos -duration 3s            # self-serve with fault injection
+//	mergeload -resilient -retries 3 -hedge-after 20ms   # retrying/hedging client
+//	mergeload -resilient -overload-target 2ms -overload-interval 50ms  # drive the shed loop
 //
 // -chaos runs the self-served daemon with the fault injector enabled
 // (panics, errors and latency on every op) and verifies at the end that
@@ -25,7 +27,9 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -41,6 +45,8 @@ import (
 
 	"mergepath/internal/fault"
 	"mergepath/internal/harness"
+	"mergepath/internal/overload"
+	"mergepath/internal/resilience"
 	"mergepath/internal/server"
 	"mergepath/internal/stats"
 )
@@ -60,6 +66,14 @@ type options struct {
 	queue     int
 	chaos     bool
 	chaosSpec string
+
+	overloadTarget   time.Duration
+	overloadInterval time.Duration
+
+	resilient  bool
+	retries    int
+	hedgeAfter time.Duration
+	budgetRate float64
 }
 
 // defaultChaosSpec is the -chaos fault mix: enough panics and errors to
@@ -91,6 +105,12 @@ func main() {
 	flag.IntVar(&o.queue, "queue", 256, "self-serve: admission queue depth")
 	flag.BoolVar(&o.chaos, "chaos", false, "self-serve with fault injection, verify the daemon survives")
 	flag.StringVar(&o.chaosSpec, "chaos-spec", defaultChaosSpec, "fault spec used by -chaos")
+	flag.DurationVar(&o.overloadTarget, "overload-target", 5*time.Millisecond, "self-serve: CoDel queue-sojourn target")
+	flag.DurationVar(&o.overloadInterval, "overload-interval", 100*time.Millisecond, "self-serve: overload evaluation interval")
+	flag.BoolVar(&o.resilient, "resilient", false, "drive traffic through the resilient client (retries, Retry-After, circuit breaker)")
+	flag.IntVar(&o.retries, "retries", 2, "resilient: max retries per request")
+	flag.DurationVar(&o.hedgeAfter, "hedge-after", 0, "resilient: duplicate a request if no response after this long (0 = off)")
+	flag.Float64Var(&o.budgetRate, "retry-budget", 50, "resilient: retry token refill rate per second")
 	flag.Parse()
 
 	if o.chaos && o.url != "" {
@@ -100,7 +120,14 @@ func main() {
 	var srv *server.Server
 	base := o.url
 	if base == "" {
-		cfg := server.Config{Workers: o.workers, QueueDepth: o.queue}
+		cfg := server.Config{
+			Workers:    o.workers,
+			QueueDepth: o.queue,
+			Overload: overload.Config{
+				Target:   o.overloadTarget,
+				Interval: o.overloadInterval,
+			},
+		}
 		if o.chaos {
 			inj, err := fault.Parse(o.chaosSpec, o.seed)
 			if err != nil {
@@ -118,19 +145,127 @@ func main() {
 
 	reqs := buildRequests(o)
 	client := &http.Client{Timeout: 10 * time.Second}
+	var rclient *resilience.Client
+	if o.resilient {
+		rclient = resilience.New(client, resilience.Config{
+			MaxRetries: o.retries,
+			HedgeAfter: o.hedgeAfter,
+			Budget:     resilience.BudgetConfig{RatePerSec: o.budgetRate},
+			Seed:       o.seed,
+		})
+		fmt.Printf("resilient client: retries=%d hedge-after=%v budget=%.0f/s\n",
+			o.retries, o.hedgeAfter, o.budgetRate)
+	}
 
-	run(base, client, reqs, o.warmup, o) // warmup, result discarded
-	res := run(base, client, reqs, o.duration, o)
+	run(base, client, rclient, reqs, o.warmup, o, nil) // warmup, result discarded
+	timeline := newStateTimeline()
+	res := run(base, client, rclient, reqs, o.duration, o, timeline)
 
 	printTable(o, res)
 	snap := fetchServerSnapshot(base, client)
 	printServerReport(snap)
+	if rclient != nil {
+		printClientReport(rclient)
+	}
+	timeline.print()
 	if o.jsonPath != "" {
-		writeJSON(o, res, base, client, snap)
+		writeJSON(o, res, base, client, snap, rclient, timeline)
 	}
 	if o.chaos {
 		verifyChaos(srv, base, client, res)
 	}
+}
+
+// printClientReport summarizes the resilient client's view of the run:
+// how hard it had to work to deliver the goodput the table reports.
+func printClientReport(rc *resilience.Client) {
+	st := rc.StatsSnapshot()
+	fmt.Printf("client: attempts=%d retries=%d retry_after_honored=%d hedges=%d hedge_wins=%d"+
+		" breaker(opens=%d closes=%d rejects=%d) budget_denied=%d\n",
+		st.Attempts, st.Retries, st.RetryAfterHonored, st.Hedges, st.HedgeWins,
+		st.BreakerOpens, st.BreakerCloses, st.BreakerRejects, st.BudgetDenied)
+	if states := rc.BreakerStates(); len(states) > 0 {
+		fmt.Printf("client breakers: %v\n", states)
+	}
+}
+
+// stateChange is one observed server overload-state transition, relative
+// to the start of the measured run.
+type stateChange struct {
+	OffsetMS float64 `json:"offset_ms"`
+	State    string  `json:"state"`
+}
+
+// stateTimeline polls /healthz during the measured run and records the
+// degradation-state transitions the server reported.
+type stateTimeline struct {
+	mu      sync.Mutex
+	changes []stateChange
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+func newStateTimeline() *stateTimeline {
+	return &stateTimeline{stop: make(chan struct{}), done: make(chan struct{})}
+}
+
+// watch polls /healthz every 100ms until stopped, appending a change
+// whenever the reported status differs from the last one seen.
+func (tl *stateTimeline) watch(base string, client *http.Client, start time.Time) {
+	defer close(tl.done)
+	last := ""
+	for {
+		select {
+		case <-tl.stop:
+			return
+		case <-time.After(100 * time.Millisecond):
+		}
+		resp, err := client.Get(base + "/healthz")
+		if err != nil {
+			continue
+		}
+		var health struct {
+			Status string `json:"status"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&health)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if health.Status != "" && health.Status != last {
+			last = health.Status
+			tl.mu.Lock()
+			tl.changes = append(tl.changes, stateChange{
+				OffsetMS: float64(time.Since(start)) / float64(time.Millisecond),
+				State:    health.Status,
+			})
+			tl.mu.Unlock()
+		}
+	}
+}
+
+func (tl *stateTimeline) halt() {
+	close(tl.stop)
+	<-tl.done
+}
+
+func (tl *stateTimeline) snapshot() []stateChange {
+	if tl == nil {
+		return nil
+	}
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return append([]stateChange(nil), tl.changes...)
+}
+
+func (tl *stateTimeline) print() {
+	changes := tl.snapshot()
+	if len(changes) == 0 {
+		return
+	}
+	parts := make([]string, len(changes))
+	for i, c := range changes {
+		parts[i] = fmt.Sprintf("%.0fms:%s", c.OffsetMS, c.State)
+	}
+	fmt.Printf("server state timeline: %s\n", strings.Join(parts, " -> "))
 }
 
 // fetchServerSnapshot pulls the daemon's own /metrics view of the run;
@@ -192,6 +327,8 @@ func verifyChaos(srv *server.Server, base string, client *http.Client, res *resu
 type result struct {
 	elapsed        time.Duration
 	ok, shed, errs atomic.Int64
+	throttled      atomic.Int64 // 429s from the overload controller
+	rejected       atomic.Int64 // local fail-fast rejects (breaker open)
 	faulted        atomic.Int64 // 5xx from injected faults (chaos mode)
 	elems          atomic.Int64 // output elements across ok requests
 	dropped        atomic.Int64 // open loop: arrivals skipped, all slots busy
@@ -330,19 +467,41 @@ func buildRequests(o options) []canned {
 	return reqs
 }
 
-// run drives traffic for d and returns the aggregate.
-func run(base string, client *http.Client, reqs []canned, d time.Duration, o options) *result {
+// run drives traffic for d and returns the aggregate. When rclient is
+// non-nil requests go through the resilient client (retries, honored
+// Retry-After, optional hedging, circuit breaker); tl, when non-nil,
+// watches the server's overload state for the duration.
+func run(base string, client *http.Client, rclient *resilience.Client, reqs []canned, d time.Duration, o options, tl *stateTimeline) *result {
 	res := newResult()
 	stop := make(chan struct{})
 	time.AfterFunc(d, func() { close(stop) })
 	start := time.Now()
+	if tl != nil {
+		go tl.watch(base, client, start)
+		defer tl.halt()
+	}
 
 	fire := func(c canned) {
 		h, okCount := res.endpointSlot(c.path)
 		t0 := time.Now()
-		resp, err := client.Post(base+c.path, "application/json", bytes.NewReader(c.body))
+		var resp *http.Response
+		var err error
+		if rclient != nil {
+			resp, err = rclient.Post(context.Background(), base+c.path, "application/json", c.body)
+		} else {
+			resp, err = client.Post(base+c.path, "application/json", bytes.NewReader(c.body))
+		}
 		lat := time.Since(t0)
 		if err != nil {
+			if errors.Is(err, resilience.ErrBreakerOpen) {
+				// Fail-fast local reject: the breaker answers in
+				// nanoseconds, so a closed loop would spin through
+				// millions of rejects and distort the error count.
+				// Count it once and idle briefly, like a polite client.
+				res.rejected.Add(1)
+				time.Sleep(2 * time.Millisecond)
+				return
+			}
 			res.errs.Add(1)
 			return
 		}
@@ -360,6 +519,8 @@ func run(base string, client *http.Client, reqs []canned, d time.Duration, o opt
 			}
 		case resp.StatusCode == http.StatusServiceUnavailable:
 			res.shed.Add(1)
+		case resp.StatusCode == http.StatusTooManyRequests:
+			res.throttled.Add(1)
 		case o.chaos && resp.StatusCode >= http.StatusInternalServerError:
 			// Chaos mode injects 500s on purpose; count them apart from
 			// real errors so the summary distinguishes havoc from bugs.
@@ -451,8 +612,8 @@ func printTable(o options, res *result) {
 		fmtDur(agg.P50), fmtDur(agg.P95), fmtDur(agg.P99), fmtDur(agg.Max))
 	fmt.Println(t)
 	printStageTable(res)
-	fmt.Printf("shed(503)=%d errors=%d dropped=%d faulted(5xx)=%d\n",
-		res.shed.Load(), res.errs.Load(), res.dropped.Load(), res.faulted.Load())
+	fmt.Printf("shed(503)=%d throttled(429)=%d breaker_rejected=%d errors=%d dropped=%d faulted(5xx)=%d\n",
+		res.shed.Load(), res.throttled.Load(), res.rejected.Load(), res.errs.Load(), res.dropped.Load(), res.faulted.Load())
 }
 
 // printStageTable prints the per-stage latency view assembled from the
@@ -505,6 +666,8 @@ type benchDoc struct {
 	Totals struct {
 		OK          int64   `json:"ok"`
 		Shed        int64   `json:"shed_503"`
+		Throttled   int64   `json:"throttled_429"`
+		Rejected    int64   `json:"breaker_rejected,omitempty"`
 		Errors      int64   `json:"errors"`
 		Dropped     int64   `json:"dropped"`
 		Throughput  float64 `json:"req_per_s"`
@@ -523,10 +686,16 @@ type benchDoc struct {
 	Imbalance     *stats.LoadSummary `json:"last_round_imbalance,omitempty"`
 	ImbalanceMax  float64            `json:"imbalance_max,omitempty"`
 	ImbalanceMean float64            `json:"imbalance_mean,omitempty"`
-	ServerMetrics json.RawMessage    `json:"server_metrics,omitempty"`
+	// Client reports the resilient client's retry/hedge/breaker counters
+	// when -resilient drove the run.
+	Client *resilience.Stats `json:"client,omitempty"`
+	// OverloadTimeline is the server's degradation-state transitions
+	// observed over the measured run (polled from /healthz).
+	OverloadTimeline []stateChange   `json:"overload_timeline,omitempty"`
+	ServerMetrics    json.RawMessage `json:"server_metrics,omitempty"`
 }
 
-func writeJSON(o options, res *result, base string, client *http.Client, snap *server.MetricsSnapshot) {
+func writeJSON(o options, res *result, base string, client *http.Client, snap *server.MetricsSnapshot, rclient *resilience.Client, tl *stateTimeline) {
 	var doc benchDoc
 	doc.Config.Mode = "closed"
 	if o.rate > 0 {
@@ -540,6 +709,8 @@ func writeJSON(o options, res *result, base string, client *http.Client, snap *s
 	doc.Config.Duration = o.duration.String()
 	doc.Totals.OK = res.ok.Load()
 	doc.Totals.Shed = res.shed.Load()
+	doc.Totals.Throttled = res.throttled.Load()
+	doc.Totals.Rejected = res.rejected.Load()
 	doc.Totals.Errors = res.errs.Load()
 	doc.Totals.Dropped = res.dropped.Load()
 	doc.Totals.ElapsedSecs = res.elapsed.Seconds()
@@ -564,6 +735,11 @@ func writeJSON(o options, res *result, base string, client *http.Client, snap *s
 		doc.ImbalanceMax = snap.Pool.ImbalanceMax
 		doc.ImbalanceMean = snap.Pool.ImbalanceMean
 	}
+	if rclient != nil {
+		st := rclient.StatsSnapshot()
+		doc.Client = &st
+	}
+	doc.OverloadTimeline = tl.snapshot()
 	// Attach the server's own view of the run when reachable.
 	if resp, err := client.Get(base + "/metrics"); err == nil {
 		raw, _ := io.ReadAll(resp.Body)

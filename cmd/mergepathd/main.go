@@ -13,6 +13,7 @@
 //	mergepathd -debug-addr localhost:6060          # pprof sidecar
 //	mergepathd -access-log                         # per-request span log
 //	mergepathd -fault 'sort:panic=0.05;*:latency=1ms@0.2'   # chaos mode
+//	mergepathd -overload-target 10ms -strict-input          # tuning + forensic 400s
 //	curl -s localhost:8080/v1/merge -d '{"a":[1,3],"b":[2,4]}'
 //	curl -s localhost:8080/metrics/prom
 //
@@ -34,6 +35,7 @@ import (
 	"time"
 
 	"mergepath/internal/fault"
+	"mergepath/internal/overload"
 	"mergepath/internal/server"
 )
 
@@ -51,6 +53,10 @@ func main() {
 		faultSeed = flag.Int64("fault-seed", 1, "fault injection RNG seed")
 		debugAddr = flag.String("debug-addr", "", "listen address for the pprof debug server (empty = off); serves /debug/pprof/ only, keep it off public interfaces")
 		accessLog = flag.Bool("access-log", false, "log one structured line per request with its ID and per-stage span timings")
+
+		overloadTarget   = flag.Duration("overload-target", 5*time.Millisecond, "CoDel queue-sojourn target; sustained waits above it degrade, then shed with 429")
+		overloadInterval = flag.Duration("overload-interval", 100*time.Millisecond, "overload evaluation interval (the window the minimum sojourn is tracked over)")
+		strictInput      = flag.Bool("strict-input", false, "sortedness 400s name the first violating index and values (forensic mode)")
 	)
 	flag.Parse()
 
@@ -71,8 +77,13 @@ func main() {
 		CoalesceLimit:  *coalesce,
 		MaxBodyBytes:   *maxBody,
 		RequestTimeout: *timeout,
-		Fault:          inj,
-		AccessLog:      *accessLog,
+		Overload: overload.Config{
+			Target:   *overloadTarget,
+			Interval: *overloadInterval,
+		},
+		StrictInput: *strictInput,
+		Fault:       inj,
+		AccessLog:   *accessLog,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s}
 

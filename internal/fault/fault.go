@@ -43,9 +43,10 @@ type Rule struct {
 // Injector applies Rules with a seeded RNG so chaos runs are
 // reproducible. The zero Injector (and a nil *Injector) injects nothing.
 type Injector struct {
-	mu    sync.Mutex
-	rng   *rand.Rand
-	rules map[string]Rule
+	mu       sync.Mutex
+	rng      *rand.Rand
+	rules    map[string]Rule
+	disabled atomic.Bool // runtime gate: soak tests clear the fault mid-run
 
 	// Injection counters, exported so tests and the chaos load generator
 	// can assert how much havoc was actually wreaked.
@@ -53,6 +54,21 @@ type Injector struct {
 	Errors atomic.Uint64
 	Sleeps atomic.Uint64
 }
+
+// SetEnabled turns injection on or off at runtime without swapping the
+// injector out of the server config. Chaos soaks use it to model a
+// fault that clears: inject until the overload machinery trips, then
+// disable and watch the system recover. Injectors start enabled; safe
+// on a nil receiver (no-op).
+func (in *Injector) SetEnabled(on bool) {
+	if in != nil {
+		in.disabled.Store(!on)
+	}
+}
+
+// Enabled reports whether the injector is currently injecting. A nil
+// injector is never enabled.
+func (in *Injector) Enabled() bool { return in != nil && !in.disabled.Load() }
 
 // New builds an Injector over explicit rules. The op "*" is the
 // fallback for ops without their own rule.
@@ -132,7 +148,7 @@ func (v PanicValue) String() string { return "fault: injected panic (op=" + v.Op
 // latency and panic delays before blowing up (the realistic failure
 // shape: a slow request that then dies). Safe on a nil receiver.
 func (in *Injector) Before(op string) error {
-	if in == nil {
+	if in == nil || in.disabled.Load() {
 		return nil
 	}
 	rule, ok := in.rules[op]

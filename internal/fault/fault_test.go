@@ -3,6 +3,7 @@ package fault
 import (
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -120,6 +121,131 @@ func TestParse(t *testing.T) {
 	// Empty spec: valid, no rules.
 	if in, err := Parse("", 1); err != nil || len(in.rules) != 0 {
 		t.Errorf("empty spec: %v, %d rules", err, len(in.rules))
+	}
+}
+
+func TestSetEnabledGatesInjection(t *testing.T) {
+	in := New(map[string]Rule{"*": {Error: 1}}, 1)
+	if !in.Enabled() {
+		t.Fatal("injector should start enabled")
+	}
+	if err := in.Before("merge"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("enabled injector returned %v, want ErrInjected", err)
+	}
+	in.SetEnabled(false)
+	if in.Enabled() {
+		t.Fatal("Enabled() after SetEnabled(false)")
+	}
+	for i := 0; i < 50; i++ {
+		if err := in.Before("merge"); err != nil {
+			t.Fatalf("disabled injector returned %v", err)
+		}
+	}
+	if n := in.Errors.Load(); n != 1 {
+		t.Fatalf("errors while disabled: counter = %d, want 1", n)
+	}
+	in.SetEnabled(true)
+	if err := in.Before("merge"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("re-enabled injector returned %v, want ErrInjected", err)
+	}
+	// Nil receiver: both gates are safe no-ops.
+	var nilIn *Injector
+	nilIn.SetEnabled(true)
+	if nilIn.Enabled() {
+		t.Fatal("nil injector reports enabled")
+	}
+}
+
+// TestConcurrentBeforeDeterministic hammers one seeded Spec from many
+// goroutines (run under -race via the Makefile race/soak targets). With
+// a single shared rule every call's coin flips consume the same rng
+// draw pattern, so the aggregate fault counts must be identical across
+// runs regardless of goroutine interleaving.
+func TestConcurrentBeforeDeterministic(t *testing.T) {
+	const goroutines, perG = 8, 500
+	runOnce := func() (errs, sleeps uint64) {
+		in := New(map[string]Rule{"*": {Error: 0.3, Latency: time.Nanosecond, LatencyProb: 0.5}}, 99)
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				op := []string{"merge", "sort", "mergek"}[g%3]
+				for i := 0; i < perG; i++ {
+					in.Before(op)
+				}
+			}(g)
+		}
+		wg.Wait()
+		return in.Errors.Load(), in.Sleeps.Load()
+	}
+	e1, s1 := runOnce()
+	e2, s2 := runOnce()
+	if e1 != e2 || s1 != s2 {
+		t.Fatalf("same seed diverged under concurrency: errors %d vs %d, sleeps %d vs %d", e1, e2, s1, s2)
+	}
+	const n = goroutines * perG
+	if e1 < n/5 || e1 > n/2 {
+		t.Fatalf("error=0.3 over %d concurrent trials fired %d times", n, e1)
+	}
+}
+
+// TestConcurrentPanicRecovery drives a panic-heavy rule from many
+// goroutines, each recovering, to prove the injector itself stays
+// consistent when callers blow up mid-call.
+func TestConcurrentPanicRecovery(t *testing.T) {
+	in := New(map[string]Rule{"merge": {Panic: 0.5}}, 7)
+	const goroutines, perG = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				func() {
+					defer func() {
+						if v := recover(); v != nil {
+							if pv, ok := v.(PanicValue); !ok || pv.Op != "merge" {
+								t.Errorf("panic value %v, want PanicValue{merge}", v)
+							}
+						}
+					}()
+					in.Before("merge")
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if n := in.Panics.Load(); n == 0 || n > goroutines*perG {
+		t.Fatalf("panic counter = %d out of %d calls", n, goroutines*perG)
+	}
+}
+
+func TestParseEdgeCases(t *testing.T) {
+	// Whitespace-and-separator-only specs are valid and empty.
+	for _, spec := range []string{";;", "  ;  ; ", ";"} {
+		in, err := Parse(spec, 1)
+		if err != nil || len(in.rules) != 0 {
+			t.Errorf("Parse(%q) = %v, %d rules; want valid empty", spec, err, len(in.rules))
+		}
+	}
+	// Zero-probability entries parse fine and never fire.
+	in, err := Parse("merge:panic=0,error=0,latency=1ms@0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := in.Before("merge"); err != nil {
+			t.Fatalf("zero-probability rule fired: %v", err)
+		}
+	}
+	if in.Panics.Load()+in.Errors.Load()+in.Sleeps.Load() != 0 {
+		t.Fatal("zero-probability rule moved a counter")
+	}
+	// An op clause with an unknown key is rejected, even alongside
+	// valid keys.
+	if _, err := Parse("merge:error=0.1,jitter=1ms", 1); err == nil {
+		t.Error("unknown key in a multi-key clause was accepted")
 	}
 }
 

@@ -1,0 +1,610 @@
+// Package resilience is the client half of the overload story: a
+// retrying HTTP client built to survive a daemon that sheds, browns
+// out, or injects faults (internal/overload, internal/fault) without
+// making the overload worse.
+//
+// Four mechanisms compose, each individually boring and jointly the
+// standard production recipe:
+//
+//   - Exponential backoff with full jitter between retries, honoring a
+//     server-supplied Retry-After header (the daemon computes one from
+//     its measured drain rate) over the local schedule.
+//   - A token-bucket retry *budget*: retries spend tokens that refill at
+//     a fixed rate, so a broken server sees the offered load approach
+//     1× instead of multiplying into a retry storm.
+//   - Optional hedged requests: if the first attempt has not answered
+//     within HedgeAfter, a second identical request races it and the
+//     first response wins — a tail-latency tool, paid for with
+//     duplicate work, so it is off by default.
+//   - A per-endpoint circuit breaker (closed → open → half-open):
+//     consecutive failures open the circuit, requests fail fast without
+//     touching the network while it is open, and after a cooldown a
+//     limited number of probes decide between closing and re-opening.
+//
+// The package is dependency-free and transport-agnostic above
+// *http.Client; cmd/mergeload wires it to the daemon.
+package resilience
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Errors returned without touching the network. Both are terminal for
+// the call that receives them; the caller decides whether to try again
+// later (the breaker's cooldown is doing exactly that on its behalf).
+var (
+	// ErrBreakerOpen means the endpoint's circuit breaker is open: the
+	// recent failure streak crossed the threshold and the cooldown has
+	// not elapsed (or the half-open probe quota is spoken for).
+	ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+	// ErrBudgetExhausted means a retry was wanted but the token-bucket
+	// retry budget was empty; the last attempt's outcome is returned
+	// with it where available.
+	ErrBudgetExhausted = errors.New("resilience: retry budget exhausted")
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+// The breaker states, in the classic closed/open/half-open cycle.
+const (
+	// BreakerClosed: requests flow; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: requests fail fast with ErrBreakerOpen until the
+	// cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: a bounded number of probe requests are admitted;
+	// a success closes the breaker, a failure re-opens it.
+	BreakerHalfOpen
+)
+
+// String names the breaker state for stats output.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig tunes one circuit breaker. Zero values select the
+// documented defaults.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive-failure count that opens the
+	// breaker. Default 5.
+	FailureThreshold int
+	// OpenFor is the cooldown before an open breaker admits half-open
+	// probes. Default 1s.
+	OpenFor time.Duration
+	// HalfOpenProbes bounds concurrent probe requests while half-open.
+	// Default 1.
+	HalfOpenProbes int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	return c
+}
+
+// Breaker is one endpoint's circuit breaker. Safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	inFlight int       // half-open probes currently outstanding
+
+	opens   atomic.Uint64 // closed/half-open → open transitions
+	reopens atomic.Uint64 // half-open probe failures (subset of opens)
+	closes  atomic.Uint64 // half-open → closed recoveries
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// State reports the breaker's current state (open flips to half-open
+// lazily, on the Allow call that finds the cooldown elapsed).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allow asks to send one request. nil admits it (every admitted request
+// MUST be answered with exactly one Record call); ErrBreakerOpen
+// rejects it without a network round trip.
+func (b *Breaker) Allow() error { return b.allow(time.Now()) }
+
+func (b *Breaker) allow(now time.Time) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		if now.Sub(b.openedAt) < b.cfg.OpenFor {
+			return ErrBreakerOpen
+		}
+		b.state = BreakerHalfOpen
+		b.inFlight = 0
+		fallthrough
+	case BreakerHalfOpen:
+		if b.inFlight >= b.cfg.HalfOpenProbes {
+			return ErrBreakerOpen
+		}
+		b.inFlight++
+		return nil
+	default:
+		return nil
+	}
+}
+
+// Record reports an admitted request's outcome (success = 2xx/4xx-class
+// response; failure = 5xx, 429, timeout or transport error).
+func (b *Breaker) Record(success bool) { b.record(success, time.Now()) }
+
+func (b *Breaker) record(success bool, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		if b.inFlight > 0 {
+			b.inFlight--
+		}
+		if success {
+			b.state = BreakerClosed
+			b.failures = 0
+			b.closes.Add(1)
+			return
+		}
+		b.state = BreakerOpen
+		b.openedAt = now
+		b.opens.Add(1)
+		b.reopens.Add(1)
+	case BreakerClosed:
+		if success {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.state = BreakerOpen
+			b.openedAt = now
+			b.opens.Add(1)
+		}
+	}
+	// BreakerOpen: a straggler from before the trip; nothing to count.
+}
+
+// BudgetConfig tunes the retry token bucket. Zero values select the
+// documented defaults.
+type BudgetConfig struct {
+	// RatePerSec is the sustained retries-per-second refill rate.
+	// Default 10.
+	RatePerSec float64
+	// Burst is the bucket capacity (and initial fill). Default 2×Rate,
+	// minimum 1.
+	Burst float64
+}
+
+func (c BudgetConfig) withDefaults() BudgetConfig {
+	if c.RatePerSec < 0 {
+		c.RatePerSec = 0
+	}
+	if c.RatePerSec == 0 && c.Burst == 0 {
+		c.RatePerSec = 10
+	}
+	if c.Burst <= 0 {
+		c.Burst = 2 * c.RatePerSec
+	}
+	if c.Burst < 1 {
+		c.Burst = 1
+	}
+	return c
+}
+
+// Budget is a token-bucket retry budget shared by all of a client's
+// endpoints: every retry spends one token; an empty bucket means the
+// original error stands. This caps the load amplification a retrying
+// fleet can inflict on an already-struggling server.
+type Budget struct {
+	cfg    BudgetConfig
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+	denied atomic.Uint64
+}
+
+// NewBudget builds a full bucket.
+func NewBudget(cfg BudgetConfig) *Budget {
+	cfg = cfg.withDefaults()
+	return &Budget{cfg: cfg, tokens: cfg.Burst, last: time.Now()}
+}
+
+// Allow spends one retry token if available.
+func (g *Budget) Allow() bool { return g.allow(time.Now()) }
+
+func (g *Budget) allow(now time.Time) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if dt := now.Sub(g.last).Seconds(); dt > 0 {
+		g.tokens += dt * g.cfg.RatePerSec
+		if g.tokens > g.cfg.Burst {
+			g.tokens = g.cfg.Burst
+		}
+	}
+	g.last = now
+	if g.tokens >= 1 {
+		g.tokens--
+		return true
+	}
+	g.denied.Add(1)
+	return false
+}
+
+// BackoffConfig tunes the retry delay schedule. Zero values select the
+// documented defaults.
+type BackoffConfig struct {
+	// Base is the cap of the first retry's jitter window; the window
+	// doubles per attempt. Default 50ms.
+	Base time.Duration
+	// Max caps the jitter window. Default 2s.
+	Max time.Duration
+}
+
+func (c BackoffConfig) withDefaults() BackoffConfig {
+	if c.Base <= 0 {
+		c.Base = 50 * time.Millisecond
+	}
+	if c.Max <= 0 {
+		c.Max = 2 * time.Second
+	}
+	if c.Max < c.Base {
+		c.Max = c.Base
+	}
+	return c
+}
+
+// delay returns the full-jitter backoff before retry #attempt (attempt
+// counts from 0): uniform in [0, min(Max, Base·2^attempt)). Full jitter
+// decorrelates a fleet of clients that all failed at the same instant.
+func (c BackoffConfig) delay(attempt int, rng *rand.Rand) time.Duration {
+	window := c.Base << uint(attempt)
+	if window <= 0 || window > c.Max { // <<-overflow or past the cap
+		window = c.Max
+	}
+	return time.Duration(rng.Int63n(int64(window) + 1))
+}
+
+// Config assembles a Client. Zero values select the documented
+// defaults (note MaxRetries: zero really means no retries).
+type Config struct {
+	// MaxRetries is how many times one request may be re-sent after its
+	// first attempt. 0 disables retries (backoff/budget moot).
+	MaxRetries int
+	// Backoff is the retry delay schedule.
+	Backoff BackoffConfig
+	// Budget is the shared token-bucket retry budget.
+	Budget BudgetConfig
+	// HedgeAfter, when positive, launches a duplicate request if the
+	// first has not answered within this duration; first response wins.
+	HedgeAfter time.Duration
+	// Breaker tunes the per-endpoint circuit breakers.
+	Breaker BreakerConfig
+	// Seed feeds the jitter RNG so load runs are reproducible.
+	Seed int64
+}
+
+// Stats are the client's cumulative counters, read with StatsSnapshot.
+type Stats struct {
+	// Calls is top-level requests issued through the client.
+	Calls uint64 `json:"calls"`
+	// Attempts counts actual HTTP sends (retries and hedges included).
+	Attempts uint64 `json:"attempts"`
+	// Retries is re-sends after a retryable failure.
+	Retries uint64 `json:"retries"`
+	// RetryAfterHonored counts retries whose delay came from a server
+	// Retry-After header rather than the jittered backoff.
+	RetryAfterHonored uint64 `json:"retry_after_honored"`
+	// Hedges is duplicate requests launched after HedgeAfter elapsed.
+	Hedges uint64 `json:"hedges"`
+	// HedgeWins counts hedges whose response arrived before the
+	// primary's.
+	HedgeWins uint64 `json:"hedge_wins"`
+	// BreakerRejects is calls refused instantly by an open breaker.
+	BreakerRejects uint64 `json:"breaker_rejects"`
+	// BreakerOpens aggregates closed/half-open -> open transitions across
+	// all endpoint breakers.
+	BreakerOpens uint64 `json:"breaker_opens"`
+	// BreakerCloses aggregates half-open -> closed recoveries across all
+	// endpoint breakers.
+	BreakerCloses uint64 `json:"breaker_closes"`
+	// BudgetDenied is retries skipped because the token bucket was
+	// empty.
+	BudgetDenied uint64 `json:"budget_denied"`
+}
+
+// Client is a resilient HTTP client: *http.Client plus retries with
+// jittered backoff and Retry-After, a retry budget, optional hedging,
+// and per-endpoint circuit breakers. Safe for concurrent use.
+type Client struct {
+	http   *http.Client
+	cfg    Config
+	budget *Budget
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	breakers map[string]*Breaker
+
+	calls, attempts, retries, raHonored atomic.Uint64
+	hedges, hedgeWins                   atomic.Uint64
+	breakerRejects, budgetDenied        atomic.Uint64
+}
+
+// New wraps hc (nil = a default client with a 10s timeout) in the
+// resilience stack.
+func New(hc *http.Client, cfg Config) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 10 * time.Second}
+	}
+	cfg.Backoff = cfg.Backoff.withDefaults()
+	cfg.Breaker = cfg.Breaker.withDefaults()
+	return &Client{
+		http:     hc,
+		cfg:      cfg,
+		budget:   NewBudget(cfg.Budget),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		breakers: make(map[string]*Breaker),
+	}
+}
+
+// breakerFor returns (creating on first use) the breaker keyed by the
+// URL path — one circuit per endpoint, so a broken /v1/sort cannot
+// blacken /v1/merge.
+func (c *Client) breakerFor(rawURL string) *Breaker {
+	key := rawURL
+	if u, err := url.Parse(rawURL); err == nil {
+		key = u.Path
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.breakers[key]
+	if !ok {
+		b = NewBreaker(c.cfg.Breaker)
+		c.breakers[key] = b
+	}
+	return b
+}
+
+// jitter draws one backoff delay under the client's seeded RNG.
+func (c *Client) jitter(attempt int) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cfg.Backoff.delay(attempt, c.rng)
+}
+
+// StatsSnapshot returns the cumulative counters, folding in per-breaker
+// transition counts.
+func (c *Client) StatsSnapshot() Stats {
+	s := Stats{
+		Calls:             c.calls.Load(),
+		Attempts:          c.attempts.Load(),
+		Retries:           c.retries.Load(),
+		RetryAfterHonored: c.raHonored.Load(),
+		Hedges:            c.hedges.Load(),
+		HedgeWins:         c.hedgeWins.Load(),
+		BreakerRejects:    c.breakerRejects.Load(),
+		BudgetDenied:      c.budgetDenied.Load(),
+	}
+	c.mu.Lock()
+	for _, b := range c.breakers {
+		s.BreakerOpens += b.opens.Load()
+		s.BreakerCloses += b.closes.Load()
+	}
+	c.mu.Unlock()
+	return s
+}
+
+// BreakerStates reports each endpoint breaker's current state, keyed by
+// URL path.
+func (c *Client) BreakerStates() map[string]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]string, len(c.breakers))
+	for k, b := range c.breakers {
+		out[k] = b.State().String()
+	}
+	return out
+}
+
+// retryable classifies a response status: 429 and the retryable 5xx
+// family mean "try again later"; everything else (2xx, other 4xx)
+// stands.
+func retryable(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusInternalServerError,
+		http.StatusBadGateway, http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// retryAfter parses a delay-seconds Retry-After header; 0 when absent
+// or unparseable (HTTP-date form is not worth supporting here — the
+// daemon always sends seconds).
+func retryAfter(resp *http.Response) time.Duration {
+	if resp == nil {
+		return 0
+	}
+	h := resp.Header.Get("Retry-After")
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// Post sends body to url with retries, hedging and the breaker, under
+// ctx. On success the caller owns resp.Body. A non-nil response may
+// accompany a nil error even for non-2xx statuses — like http.Client,
+// status handling is the caller's business; the stack only *retries*
+// the retryable ones until attempts or budget run out, then hands the
+// last response over.
+func (c *Client) Post(ctx context.Context, url, contentType string, body []byte) (*http.Response, error) {
+	c.calls.Add(1)
+	br := c.breakerFor(url)
+	var lastResp *http.Response
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := br.Allow(); err != nil {
+			c.breakerRejects.Add(1)
+			if lastResp != nil || lastErr != nil {
+				return lastResp, lastErr // mid-call trip: surface the real outcome
+			}
+			return nil, err
+		}
+		if lastResp != nil {
+			drain(lastResp) // superseded by the attempt we are about to make
+			lastResp = nil
+		}
+		resp, err := c.attemptOnce(ctx, url, contentType, body)
+		success := err == nil && !retryable(resp.StatusCode)
+		br.Record(success)
+		if success {
+			return resp, nil
+		}
+		lastResp, lastErr = resp, err
+		if ctx.Err() != nil || attempt >= c.cfg.MaxRetries {
+			return lastResp, lastErr
+		}
+		if !c.budget.Allow() {
+			c.budgetDenied.Add(1)
+			if lastErr == nil {
+				return lastResp, nil
+			}
+			return lastResp, fmt.Errorf("%w (last error: %v)", ErrBudgetExhausted, lastErr)
+		}
+		delay := c.jitter(attempt)
+		if ra := retryAfter(resp); ra > 0 {
+			delay = ra
+			c.raHonored.Add(1)
+		}
+		c.retries.Add(1)
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return lastResp, lastErr
+		}
+	}
+}
+
+// drain discards and closes a response body so the connection can be
+// reused.
+func drain(resp *http.Response) {
+	if resp != nil && resp.Body != nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// attemptResult is one racer's outcome in a (possibly hedged) attempt.
+type attemptResult struct {
+	resp   *http.Response
+	err    error
+	hedged bool
+}
+
+// attemptOnce performs one logical attempt: the primary request, plus —
+// when hedging is on and the primary is slow — one duplicate racing it.
+// The first *response* wins (whatever its status: retry policy is the
+// outer loop's job); a racer's transport error only decides the attempt
+// once no other racer is left. The loser is canceled and drained.
+func (c *Client) attemptOnce(ctx context.Context, url, contentType string, body []byte) (*http.Response, error) {
+	if c.cfg.HedgeAfter <= 0 {
+		c.attempts.Add(1)
+		return c.send(ctx, url, contentType, body)
+	}
+	raceCtx, cancel := context.WithCancel(ctx)
+	results := make(chan attemptResult, 2) // buffered: losers never block
+	fire := func(hedged bool) {
+		c.attempts.Add(1)
+		resp, err := c.send(raceCtx, url, contentType, body)
+		results <- attemptResult{resp: resp, err: err, hedged: hedged}
+	}
+	go fire(false)
+	hedgeTimer := time.NewTimer(c.cfg.HedgeAfter)
+	defer hedgeTimer.Stop()
+	inFlight, hedged := 1, false
+	var firstErr error
+	for {
+		select {
+		case <-hedgeTimer.C:
+			if !hedged {
+				hedged = true
+				inFlight++
+				c.hedges.Add(1)
+				go fire(true)
+			}
+		case r := <-results:
+			inFlight--
+			if r.err != nil {
+				if firstErr == nil {
+					firstErr = r.err
+				}
+				if inFlight > 0 {
+					continue // the surviving racer decides the attempt
+				}
+				cancel()
+				return nil, firstErr
+			}
+			cancel()
+			if inFlight > 0 {
+				// Reap the loser in the background so its connection is
+				// freed; the canceled context unblocks it promptly.
+				go func() { drain((<-results).resp) }()
+			}
+			if r.hedged {
+				c.hedgeWins.Add(1)
+			}
+			return r.resp, nil
+		}
+	}
+}
+
+// send performs one HTTP POST with a replayable body.
+func (c *Client) send(ctx context.Context, url, contentType string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	return c.http.Do(req)
+}

@@ -3,6 +3,8 @@ package server
 import (
 	"fmt"
 	"sort"
+
+	"mergepath/internal/verify"
 )
 
 // Wire types for the JSON endpoints. Elements are int64 on the wire —
@@ -80,6 +82,18 @@ type ErrorResponse struct {
 func checkSorted(name string, s []int64) error {
 	if !sort.SliceIsSorted(s, func(i, j int) bool { return s[i] < s[j] }) {
 		return fmt.Errorf("input %q is not sorted", name)
+	}
+	return nil
+}
+
+// checkSortedStrict is the -strict-input variant of checkSorted: it runs
+// the verify package's scan and names the first violating index, so a
+// client shipping a 10M-element array learns exactly where its sort
+// invariant broke instead of re-deriving it locally.
+func checkSortedStrict(name string, s []int64) error {
+	if i := verify.FirstUnsorted(s); i >= 0 {
+		return fmt.Errorf("input %q is not sorted: element %d (%d) < element %d (%d)",
+			name, i, s[i], i-1, s[i-1])
 	}
 	return nil
 }

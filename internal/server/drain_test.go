@@ -87,8 +87,9 @@ func TestGracefulDrain(t *testing.T) {
 
 // TestConcurrentHammer drives the daemon from 32 goroutines across every
 // endpoint at once; run under -race (the Makefile race target includes
-// this package). Sheds (503) are legal under this load; wrong bytes are
-// not.
+// this package). Sheds — hard 503s from the bounded queue or adaptive
+// 429s from the overload controller — are legal under this load; wrong
+// bytes are not.
 func TestConcurrentHammer(t *testing.T) {
 	s := New(Config{Workers: 4, QueueDepth: 128, CoalesceLimit: 1 << 10})
 	ts := newRawServer(t, s)
@@ -153,7 +154,8 @@ func TestConcurrentHammer(t *testing.T) {
 					bad++
 				case code == http.StatusOK:
 					ok++
-				case code == http.StatusServiceUnavailable:
+				case code == http.StatusServiceUnavailable,
+					code == http.StatusTooManyRequests:
 					shed++
 				default:
 					bad++

@@ -7,6 +7,7 @@ import (
 
 	"mergepath/internal/batch"
 	"mergepath/internal/core"
+	"mergepath/internal/overload"
 	"mergepath/internal/stats"
 )
 
@@ -19,6 +20,7 @@ type Metrics struct {
 	stages    map[string]*stats.Histogram // fixed key set: per-stage span latency
 
 	shed      atomic.Uint64 // 503s from the full admission queue
+	throttled atomic.Uint64 // 429s from the adaptive overload controller
 	timeouts  atomic.Uint64 // jobs expired before or while queued
 	canceled  atomic.Uint64 // requests abandoned by their client (499 class)
 	shedFlush atomic.Uint64 // coalesced pairs dropped expired/canceled at flush
@@ -164,6 +166,11 @@ type QueueSnapshot struct {
 	Capacity int    `json:"capacity"`       // queue bound; full queue sheds 503
 	Shed     uint64 `json:"shed_total"`     // requests refused with 503
 	Timeouts uint64 `json:"timeouts_total"` // deadlines expired before completion (504)
+	// Throttled counts requests refused with 429 by the adaptive overload
+	// controller (queue sojourn over target) — separate from Shed because
+	// a 429 is the controller working as designed while a 503 means the
+	// hard queue bound was hit despite it.
+	Throttled uint64 `json:"throttled_total"`
 	// Canceled counts requests abandoned by their client (disconnect or
 	// explicit cancel) — deliberately separate from Timeouts: a cancel is
 	// the client's choice, not a server SLO violation.
@@ -215,6 +222,10 @@ type MetricsSnapshot struct {
 	// for semantics; partition and merge record cumulative worker time,
 	// everything else wall time).
 	Stages map[string]stats.HistogramSnapshot `json:"stages"`
+	// Overload is the adaptive admission controller's state: the CoDel
+	// state machine, the congestion signal it acts on, and the computed
+	// Retry-After it is currently quoting. Same snapshot as /healthz.
+	Overload overload.Snapshot `json:"overload"`
 }
 
 // snapshot assembles the exported document. p supplies live queue/worker
@@ -224,6 +235,7 @@ func (m *Metrics) snapshot(p *pool) MetricsSnapshot {
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Queue: QueueSnapshot{
 			Shed:        m.shed.Load(),
+			Throttled:   m.throttled.Load(),
 			Timeouts:    m.timeouts.Load(),
 			Canceled:    m.canceled.Load(),
 			ShedAtFlush: m.shedFlush.Load(),
@@ -249,6 +261,7 @@ func (m *Metrics) snapshot(p *pool) MetricsSnapshot {
 		if up := s.UptimeSeconds; up > 0 {
 			s.Pool.Utilization = s.Pool.BusySeconds / up
 		}
+		s.Overload = p.ctrl.SnapshotNow()
 	}
 	m.mu.Lock()
 	s.Pool.LastRoundLoad = append([]batch.WorkerLoad(nil), m.lastRoundLoad...)

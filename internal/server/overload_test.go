@@ -1,0 +1,256 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mergepath/internal/fault"
+	"mergepath/internal/overload"
+)
+
+// pressCtrl drives a controller into the given state using its public
+// API: repeated over-target sojourn observations spaced across real
+// (tiny) intervals. Returns once the state is reached or the deadline
+// passes.
+func pressCtrl(t *testing.T, c *overload.Controller, want overload.State) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.State() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("controller never reached %v (state %v)", want, c.State())
+		}
+		c.ObserveSojourn(time.Second)
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestBrownoutShrinksWindowAndWorkers(t *testing.T) {
+	ctrl := overload.New(overload.Config{Target: time.Millisecond, Interval: 5 * time.Millisecond})
+	p := newPool(8, 16, 800*time.Microsecond, 1<<20, NewMetrics(), ctrl)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = p.close(ctx)
+	}()
+
+	if w := p.effectiveWorkers(); w != 8 {
+		t.Fatalf("healthy workers = %d, want 8", w)
+	}
+	if w := p.effectiveWindow(); w != 800*time.Microsecond {
+		t.Fatalf("healthy window = %v, want 800µs", w)
+	}
+	pressCtrl(t, ctrl, overload.Degraded)
+	if w := p.effectiveWorkers(); w != 4 {
+		t.Errorf("degraded workers = %d, want 4", w)
+	}
+	if w := p.effectiveWindow(); w != 200*time.Microsecond {
+		t.Errorf("degraded window = %v, want 200µs", w)
+	}
+}
+
+// TestOverloadShedsWithComputedRetryAfter drives the server's controller
+// to shedding and verifies new requests get 429 with a Retry-After
+// derived from the drain-rate estimate, then that the state steps back
+// down once the pressure signal stops.
+func TestOverloadShedsWithComputedRetryAfter(t *testing.T) {
+	// Interval is 25ms so the post-pressure 429 probe comfortably lands
+	// before the first recovery step-down (2 good intervals = 50ms).
+	s, ts := newTestServer(t, Config{Workers: 2, Overload: overload.Config{
+		Target:   time.Millisecond,
+		Interval: 25 * time.Millisecond,
+	}})
+	// Warm the drain-rate estimate with real traffic so the Retry-After
+	// is a measurement, not the clamp floor... then apply pressure.
+	for i := 0; i < 3; i++ {
+		a := []int64{1, 2, 3}
+		if code := post(t, ts, "/v1/merge", MergeRequest{A: a, B: a}, nil); code != http.StatusOK {
+			t.Fatalf("warmup merge: status %d", code)
+		}
+	}
+	pressCtrl(t, s.ctrl, overload.Shedding)
+
+	buf, _ := json.Marshal(MergeRequest{A: []int64{1}, B: []int64{2}})
+	resp, err := ts.Client().Post(ts.URL+"/v1/merge", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d while shedding, want 429", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 || ra > 30 {
+		t.Fatalf("Retry-After %q, want integer in [1,30]", resp.Header.Get("Retry-After"))
+	}
+	var eresp ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&eresp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(eresp.Error, "overloaded") {
+		t.Errorf("429 body %q does not name the overload", eresp.Error)
+	}
+	if s.Snapshot().Queue.Throttled == 0 {
+		t.Error("throttled counter did not move")
+	}
+
+	// Pressure stops: idle intervals are good, so scrapes alone must walk
+	// the machine back to healthy (shedding→degraded→healthy).
+	deadline := time.Now().Add(5 * time.Second)
+	for s.ctrl.State() != overload.Healthy {
+		if time.Now().After(deadline) {
+			t.Fatalf("never recovered, state %v", s.ctrl.State())
+		}
+		time.Sleep(5 * time.Millisecond)
+		_ = s.ctrl.SnapshotNow()
+	}
+	if code := post(t, ts, "/v1/merge", MergeRequest{A: []int64{1}, B: []int64{2}}, nil); code != http.StatusOK {
+		t.Fatalf("post-recovery merge: status %d, want 200", code)
+	}
+	snap := s.Snapshot().Overload
+	if snap.TransitionsShedding < 1 || snap.TransitionsHealthy < 1 {
+		t.Errorf("transition counters degraded=%d shedding=%d healthy=%d, want full cycle",
+			snap.TransitionsDegraded, snap.TransitionsShedding, snap.TransitionsHealthy)
+	}
+}
+
+// TestOverloadTripsUnderInjectedLatency exercises the real signal path:
+// fault-injected execution latency makes each sort round hold the
+// dispatcher for 30ms, queued jobs accumulate sojourn far over the
+// target, and the controller leaves healthy without any test backdoor
+// touching it.
+func TestOverloadTripsUnderInjectedLatency(t *testing.T) {
+	inj, err := fault.Parse("sort:latency=30ms@1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Workers: 2, Fault: inj, Overload: overload.Config{
+		Target:   time.Millisecond,
+		Interval: 10 * time.Millisecond,
+	}})
+	// One wave of concurrent sorts: rounds execute serially at 30ms each,
+	// so the tail of the wave waits hundreds of ms in the queue.
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf, _ := json.Marshal(SortRequest{Data: []int64{3, 1, 2}})
+			resp, err := ts.Client().Post(ts.URL+"/v1/sort", "application/json", bytes.NewReader(buf))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	tripped := false
+	deadline := time.Now().Add(10 * time.Second)
+	for !tripped && time.Now().Before(deadline) {
+		var health struct {
+			Status string `json:"status"`
+		}
+		hres, err := ts.Client().Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(hres.Body).Decode(&health); err != nil {
+			t.Fatal(err)
+		}
+		hres.Body.Close()
+		if health.Status == "degraded" || health.Status == "shedding" {
+			tripped = true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	wg.Wait()
+	if !tripped {
+		t.Fatal("injected latency never tripped the overload controller")
+	}
+}
+
+func TestStrictInputNamesViolatingIndex(t *testing.T) {
+	_, strict := newTestServer(t, Config{StrictInput: true,
+		Overload: overload.Config{Target: time.Second}})
+	buf, _ := json.Marshal(MergeRequest{A: []int64{1, 5, 3, 7}, B: []int64{1}})
+	resp, err := strict.Client().Post(strict.URL+"/v1/merge", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	var eresp ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&eresp); err != nil {
+		t.Fatal(err)
+	}
+	// A[2]=3 < A[1]=5 is the first violation.
+	if !strings.Contains(eresp.Error, "element 2 (3)") || !strings.Contains(eresp.Error, "element 1 (5)") {
+		t.Errorf("strict 400 %q does not name the violating pair", eresp.Error)
+	}
+
+	// Default mode keeps the terse contract message.
+	_, lax := newTestServer(t, Config{Overload: overload.Config{Target: time.Second}})
+	resp2, err := lax.Client().Post(lax.URL+"/v1/merge", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var eresp2 ErrorResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&eresp2); err != nil {
+		t.Fatal(err)
+	}
+	if eresp2.Error != `input "a" is not sorted` {
+		t.Errorf("default 400 message changed: %q", eresp2.Error)
+	}
+}
+
+// TestQueueFullCarriesRetryAfter pins satellite 1: hard 503s (queue
+// full) now carry the computed Retry-After header too.
+func TestQueueFullCarriesRetryAfter(t *testing.T) {
+	// One worker, depth-1 queue, and a fault that parks every round for
+	// 50ms: the queue overflows almost immediately.
+	inj, err := fault.Parse("*:latency=50ms@1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, Fault: inj,
+		Overload: overload.Config{Target: time.Second}})
+	buf, _ := json.Marshal(SortRequest{Data: []int64{3, 1, 2}})
+	saw503 := false
+	deadline := time.Now().Add(5 * time.Second)
+	for !saw503 && time.Now().Before(deadline) {
+		results := make(chan *http.Response, 6)
+		for i := 0; i < 6; i++ {
+			go func() {
+				resp, err := ts.Client().Post(ts.URL+"/v1/sort", "application/json", bytes.NewReader(buf))
+				if err != nil {
+					results <- nil
+					return
+				}
+				results <- resp
+			}()
+		}
+		for i := 0; i < 6; i++ {
+			resp := <-results
+			if resp == nil {
+				continue
+			}
+			if resp.StatusCode == http.StatusServiceUnavailable {
+				saw503 = true
+				if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+					t.Errorf("503 Retry-After %q, want integer >= 1", resp.Header.Get("Retry-After"))
+				}
+			}
+			resp.Body.Close()
+		}
+	}
+	if !saw503 {
+		t.Fatal("queue never overflowed into a 503")
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"mergepath/internal/batch"
 	"mergepath/internal/core"
+	"mergepath/internal/overload"
 )
 
 // Admission-control and lifecycle errors, mapped to HTTP codes by the
@@ -29,6 +30,11 @@ var (
 	// cancel is the client's choice, not a server timeout, so it maps to
 	// the 499 class and its own counter, never to 504/timeouts.
 	ErrCanceled = errors.New("server: request canceled by client")
+	// ErrOverloaded means the CoDel admission controller is shedding: queue
+	// sojourn time has exceeded its target long enough that brownout alone
+	// cannot keep up. Maps to 429 with a computed Retry-After, distinct
+	// from ErrQueueFull (503) which is the hard capacity backstop.
+	ErrOverloaded = errors.New("server: overloaded, shedding new work")
 )
 
 // PanicError is a panic recovered inside a round, converted to a per-job
@@ -58,6 +64,7 @@ type job struct {
 	trace     *Trace     // nil-safe span sink; nil for untraced work
 	submitted time.Time  // when the job entered the admission queue
 	parked    time.Time  // when a pair job entered the pending buffer
+	elems     int        // output elements this job represents (overload backlog accounting)
 }
 
 // expired reports whether the job's deadline has passed at now.
@@ -104,13 +111,17 @@ type pool struct {
 	window       time.Duration
 	batchElems   int
 	m            *Metrics
-	busyNanos    atomic.Int64 // time spent executing rounds
+	ctrl         *overload.Controller // adaptive admission + brownout; never nil
+	busyNanos    atomic.Int64         // time spent executing rounds
 	queueDepth   atomic.Int64
 	panicLogs    atomic.Uint64 // recovered panics logged (stacks rate-limited)
 	flushPending func([]*job)  // test hook; nil in production
 }
 
-func newPool(workers, queueDepth int, window time.Duration, batchElems int, m *Metrics) *pool {
+func newPool(workers, queueDepth int, window time.Duration, batchElems int, m *Metrics, ctrl *overload.Controller) *pool {
+	if ctrl == nil {
+		ctrl = overload.New(overload.Config{})
+	}
 	p := &pool{
 		workers:    workers,
 		queue:      make(chan *job, queueDepth),
@@ -118,9 +129,48 @@ func newPool(workers, queueDepth int, window time.Duration, batchElems int, m *M
 		window:     window,
 		batchElems: batchElems,
 		m:          m,
+		ctrl:       ctrl,
 	}
 	go p.dispatch()
 	return p
+}
+
+// effectiveWindow is the coalesce window under brownout: when the
+// overload controller has left Healthy, shrink the window to a quarter
+// so parked pairs spend less time accumulating sojourn before their
+// round runs. Trades batching efficiency for latency exactly when
+// latency is the scarce resource.
+func (p *pool) effectiveWindow() time.Duration {
+	if p.ctrl.State() != overload.Healthy {
+		if w := p.window / 4; w > 0 {
+			return w
+		}
+	}
+	return p.window
+}
+
+// effectiveWorkers is the per-round parallelism under brownout: when
+// degraded or shedding, cap each round at half the pool so a single
+// huge run job cannot monopolize every worker while the queue backs up.
+// The paper's per-worker cost bound (Theorem 5) means halving workers
+// at most doubles one round's latency — a predictable trade.
+func (p *pool) effectiveWorkers() int {
+	if p.ctrl.State() != overload.Healthy {
+		if w := p.workers / 2; w >= 1 {
+			return w
+		}
+		return 1
+	}
+	return p.workers
+}
+
+// finish completes a job: releases its elements from the overload
+// backlog, then delivers err on the (buffered) done channel. Every
+// completion path must go through here exactly once or the controller's
+// backlog drifts.
+func (p *pool) finish(j *job, err error) {
+	p.ctrl.Done(j.elems)
+	j.done <- err
 }
 
 // submit admits a job or rejects it immediately (never blocks): the
@@ -135,6 +185,7 @@ func (p *pool) submit(j *job) error {
 	select {
 	case p.queue <- j:
 		p.queueDepth.Add(1)
+		p.ctrl.Enqueue(j.elems)
 		return nil
 	default:
 		return ErrQueueFull
@@ -211,16 +262,18 @@ func (p *pool) dispatch() {
 	}
 	handle := func(j *job) {
 		p.queueDepth.Add(-1)
+		now := time.Now()
+		p.ctrl.ObserveSojourn(now.Sub(j.submitted))
 		j.trace.span(StageQueueWait, j.submitted)
 		// Expired or abandoned while queued: drop it unexecuted. The
 		// handler (or its abandoned ctx wait) accounts the timeout or
 		// cancel; doing it here too would double count.
-		if j.expired(time.Now()) {
-			j.done <- ErrDeadline
+		if j.expired(now) {
+			p.finish(j, ErrDeadline)
 			return
 		}
 		if j.canceled() {
-			j.done <- ErrCanceled
+			p.finish(j, ErrCanceled)
 			return
 		}
 		if j.pair != nil {
@@ -230,7 +283,7 @@ func (p *pool) dispatch() {
 			if pendingElems >= p.batchElems {
 				flush()
 			} else if timer == nil {
-				timer = time.NewTimer(p.window)
+				timer = time.NewTimer(p.effectiveWindow())
 				timerC = timer.C
 			}
 			return
@@ -240,8 +293,12 @@ func (p *pool) dispatch() {
 		flush()
 		start := time.Now()
 		err := p.runRound(j)
-		p.busyNanos.Add(time.Since(start).Nanoseconds())
-		j.done <- err
+		took := time.Since(start)
+		p.busyNanos.Add(took.Nanoseconds())
+		if err == nil {
+			p.ctrl.ObserveDrain(j.elems, took)
+		}
+		p.finish(j, err)
 	}
 	for {
 		select {
@@ -275,7 +332,7 @@ func (p *pool) runRound(j *job) (err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return j.run(ctx, p.workers)
+	return j.run(ctx, p.effectiveWorkers())
 }
 
 // panicStackLogLimit caps how many recovered panics get a full stack in
@@ -331,15 +388,15 @@ func (p *pool) runBatch(jobs []*job) {
 			if p.m != nil {
 				p.m.shedFlush.Add(1)
 			}
-			j.done <- ErrDeadline
+			p.finish(j, ErrDeadline)
 		case j.canceled():
 			if p.m != nil {
 				p.m.shedFlush.Add(1)
 			}
-			j.done <- ErrCanceled
+			p.finish(j, ErrCanceled)
 		default:
 			if err := p.runPairFault(j); err != nil {
-				j.done <- err
+				p.finish(j, err)
 				continue
 			}
 			live = append(live, j)
@@ -361,12 +418,14 @@ func (p *pool) runBatch(jobs []*job) {
 		// individually, each under its own recovery, so only the
 		// culprit's job fails.
 		for _, j := range live {
-			j.done <- p.safeMergeOne(j)
+			p.finish(j, p.safeMergeOne(j))
 		}
 		p.busyNanos.Add(time.Since(start).Nanoseconds())
 		return
 	}
-	p.busyNanos.Add(time.Since(start).Nanoseconds())
+	took := time.Since(start)
+	p.busyNanos.Add(took.Nanoseconds())
+	p.ctrl.ObserveDrain(elems, took)
 	if p.m != nil {
 		p.m.recordBatchRound(len(pairs), elems, loads)
 	}
@@ -383,7 +442,7 @@ func (p *pool) runBatch(jobs []*job) {
 	for _, j := range live {
 		j.trace.add(StagePartition, start, searchDur)
 		j.trace.add(StageMerge, start, mergeDur)
-		j.done <- nil
+		p.finish(j, nil)
 	}
 }
 
@@ -408,7 +467,7 @@ func (p *pool) safeBatchMerge(pairs []batch.Pair[int64]) (loads []batch.WorkerLo
 			err = p.recovered(v, "")
 		}
 	}()
-	return batch.MergeWithLoads(pairs, p.workers), nil
+	return batch.MergeWithLoads(pairs, p.effectiveWorkers()), nil
 }
 
 // safeMergeOne re-merges a single quarantined pair sequentially behind

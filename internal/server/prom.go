@@ -96,6 +96,7 @@ func renderProm(snap MetricsSnapshot) string {
 	w.gauge("mergepathd_queue_depth", "", "Jobs currently in the admission queue.", float64(snap.Queue.Depth))
 	w.gauge("mergepathd_queue_capacity", "", "Admission queue capacity; a full queue sheds with 503.", float64(snap.Queue.Capacity))
 	w.counter("mergepathd_queue_shed_total", "", "Requests shed with 503 because the admission queue was full.", float64(snap.Queue.Shed))
+	w.counter("mergepathd_throttled_total", "", "Requests shed with 429 by the adaptive overload controller.", float64(snap.Queue.Throttled))
 	w.counter("mergepathd_request_timeouts_total", "", "Requests whose deadline expired before completion (504).", float64(snap.Queue.Timeouts))
 	w.counter("mergepathd_requests_canceled_total", "", "Requests abandoned by their client before completion (499).", float64(snap.Queue.Canceled))
 	w.counter("mergepathd_shed_at_flush_total", "", "Coalesced pairs dropped expired or canceled at batch-flush time.", float64(snap.Queue.ShedAtFlush))
@@ -117,6 +118,28 @@ func renderProm(snap MetricsSnapshot) string {
 	w.gauge("mergepathd_round_workers", "", "Workers engaged by the latest balanced round.", float64(snap.Pool.LastRound.Workers))
 	w.gauge("mergepathd_round_min_elements", "", "Fewest elements any worker merged in the latest balanced round.", float64(snap.Pool.LastRound.Min))
 	w.gauge("mergepathd_round_max_elements", "", "Most elements any worker merged in the latest balanced round.", float64(snap.Pool.LastRound.Max))
+
+	// Overload controller: state machine (one-hot by state plus the raw
+	// code), congestion signal, and the computed Retry-After.
+	ov := snap.Overload
+	for _, st := range []string{"healthy", "degraded", "shedding"} {
+		v := 0.0
+		if ov.State == st {
+			v = 1
+		}
+		w.gauge("mergepathd_overload_state", `state="`+st+`"`,
+			"Overload state machine, one-hot: 1 on the series matching the current state.", v)
+	}
+	w.gauge("mergepathd_overload_state_code", "", "Overload state as a number: 0 healthy, 1 degraded, 2 shedding.", float64(ov.StateCode))
+	w.gauge("mergepathd_overload_target_seconds", "", "CoDel queue-sojourn target.", secs(ov.TargetMS))
+	w.gauge("mergepathd_overload_sojourn_min_seconds", "", "Minimum queue sojourn of the last completed interval with traffic (the congestion signal).", secs(ov.SojournMinMS))
+	w.gauge("mergepathd_overload_backlog_elements", "", "Elements admitted but not yet finished.", float64(ov.BacklogElements))
+	w.gauge("mergepathd_overload_drain_elements_per_second", "", "EWMA element throughput of completed rounds.", ov.DrainElemsPerSec)
+	w.gauge("mergepathd_overload_retry_after_seconds", "", "Computed Retry-After currently quoted on 429/503 responses.", float64(ov.RetryAfterSeconds))
+	w.counter("mergepathd_overload_shed_total", "", "Admissions refused by the overload controller while shedding.", float64(ov.ShedTotal))
+	w.counter("mergepathd_overload_transitions_total", `to="degraded"`, "Overload state transitions, by destination state.", float64(ov.TransitionsDegraded))
+	w.counter("mergepathd_overload_transitions_total", `to="shedding"`, "Overload state transitions, by destination state.", float64(ov.TransitionsShedding))
+	w.counter("mergepathd_overload_transitions_total", `to="healthy"`, "Overload state transitions, by destination state.", float64(ov.TransitionsHealthy))
 
 	// Per-endpoint request counters and latency summaries.
 	for _, name := range sortedKeys(snap.Endpoints) {

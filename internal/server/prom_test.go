@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/json"
 	"io"
 	"math"
 	"math/rand"
@@ -10,6 +11,9 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
+
+	"mergepath/internal/overload"
 )
 
 // Prometheus text exposition format 0.0.4 line grammar, as accepted by
@@ -115,8 +119,11 @@ func sample(t *testing.T, samples map[string]float64, key string) float64 {
 func TestMetricsPromFormatAndAgreement(t *testing.T) {
 	// Exercise both execution paths plus an error before scraping:
 	// coalesced small merges, an uncoalesced whole-pool merge, a sort,
-	// and a 400.
-	s, ts := newTestServer(t, Config{CoalesceLimit: 64, Workers: 4})
+	// and a 400. The generous sojourn target keeps a scheduler hiccup on
+	// a loaded CI machine from tripping the overload controller — this
+	// test is about surface agreement, not the state machine.
+	s, ts := newTestServer(t, Config{CoalesceLimit: 64, Workers: 4,
+		Overload: overload.Config{Target: time.Second}})
 	rng := rand.New(rand.NewSource(11))
 	for i := 0; i < 4; i++ {
 		a, b := sortedInt64(rng, 20), sortedInt64(rng, 20)
@@ -156,6 +163,7 @@ func TestMetricsPromFormatAndAgreement(t *testing.T) {
 		}
 	}
 	agree("mergepathd_queue_shed_total", float64(snap.Queue.Shed))
+	agree("mergepathd_throttled_total", float64(snap.Queue.Throttled))
 	agree("mergepathd_queue_capacity", float64(snap.Queue.Capacity))
 	agree("mergepathd_batch_rounds_total", float64(snap.Pool.BatchRounds))
 	agree("mergepathd_batch_pairs_total", float64(snap.Pool.BatchPairs))
@@ -171,6 +179,53 @@ func TestMetricsPromFormatAndAgreement(t *testing.T) {
 			continue
 		}
 		agree(`mergepathd_stage_latency_seconds_count{stage="`+stage+`"}`, float64(h.Count))
+	}
+
+	// Overload controller: the state machine must read identically on all
+	// three surfaces (prom here, the JSON snapshot, and /healthz below).
+	// Interval-scoped signals (sojourn min) can roll over between scrapes,
+	// so the agreement set is the stable-by-construction fields.
+	ov := snap.Overload
+	if ov.State != "healthy" {
+		t.Errorf("overload state %q after light traffic, want healthy", ov.State)
+	}
+	for _, st := range []string{"healthy", "degraded", "shedding"} {
+		want := 0.0
+		if st == ov.State {
+			want = 1
+		}
+		agree(`mergepathd_overload_state{state="`+st+`"}`, want)
+	}
+	agree("mergepathd_overload_state_code", float64(ov.StateCode))
+	agree("mergepathd_overload_target_seconds", ov.TargetMS/1e3)
+	agree("mergepathd_overload_backlog_elements", float64(ov.BacklogElements))
+	agree("mergepathd_overload_drain_elements_per_second", ov.DrainElemsPerSec)
+	agree("mergepathd_overload_retry_after_seconds", float64(ov.RetryAfterSeconds))
+	agree("mergepathd_overload_shed_total", float64(ov.ShedTotal))
+	agree(`mergepathd_overload_transitions_total{to="degraded"}`, float64(ov.TransitionsDegraded))
+	agree(`mergepathd_overload_transitions_total{to="shedding"}`, float64(ov.TransitionsShedding))
+	agree(`mergepathd_overload_transitions_total{to="healthy"}`, float64(ov.TransitionsHealthy))
+	if sample(t, samples, "mergepathd_overload_drain_elements_per_second") <= 0 {
+		t.Error("drain rate still zero after completed rounds")
+	}
+
+	// /healthz reports the same state machine.
+	hres, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hres.Body.Close()
+	var health struct {
+		Status   string `json:"status"`
+		Overload struct {
+			State string `json:"state"`
+		} `json:"overload"`
+	}
+	if err := json.NewDecoder(hres.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Overload.State != ov.State {
+		t.Errorf("healthz status=%q overload.state=%q, want ok/%s", health.Status, health.Overload.State, ov.State)
 	}
 
 	// The traffic above must actually have moved the needles.

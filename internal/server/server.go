@@ -30,6 +30,7 @@ import (
 	"mergepath/internal/core"
 	"mergepath/internal/fault"
 	"mergepath/internal/kway"
+	"mergepath/internal/overload"
 	"mergepath/internal/psort"
 	"mergepath/internal/setops"
 )
@@ -67,6 +68,18 @@ type Config struct {
 	// with an X-Timeout-Ms header. Timed-out requests get 504.
 	// Default 5s.
 	RequestTimeout time.Duration
+	// Overload tunes the adaptive overload controller (CoDel-style
+	// queue-sojourn admission, brownout degradation, computed
+	// Retry-After). Zero values select the controller's documented
+	// defaults; the controller is always on.
+	Overload overload.Config
+	// StrictInput upgrades sortedness-violation 400s with forensic
+	// detail: the error names the first violating index and the
+	// offending pair of values (internal/verify.FirstUnsorted), so a
+	// client feeding garbage learns exactly where instead of hunting.
+	// Off by default because the message grows with no benefit for
+	// well-behaved clients.
+	StrictInput bool
 	// Fault, when non-nil, injects panics/errors/latency into round
 	// execution keyed by op (internal/fault) — chaos testing for the
 	// panic-isolation and cancellation machinery. Nil in production.
@@ -109,6 +122,7 @@ type Server struct {
 	cfg      Config
 	m        *Metrics
 	pool     *pool
+	ctrl     *overload.Controller
 	mux      *http.ServeMux
 	draining atomic.Bool
 }
@@ -118,7 +132,8 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{cfg: cfg, m: NewMetrics(), mux: http.NewServeMux()}
-	s.pool = newPool(cfg.Workers, cfg.QueueDepth, cfg.BatchWindow, cfg.BatchElements, s.m)
+	s.ctrl = overload.New(cfg.Overload)
+	s.pool = newPool(cfg.Workers, cfg.QueueDepth, cfg.BatchWindow, cfg.BatchElements, s.m, s.ctrl)
 	s.mux.HandleFunc("POST /v1/merge", s.route("merge", s.handleMerge))
 	s.mux.HandleFunc("POST /v1/sort", s.route("sort", s.handleSort))
 	s.mux.HandleFunc("POST /v1/mergek", s.route("mergek", s.handleMergeK))
@@ -172,8 +187,12 @@ func (s *Server) route(endpoint string, h func(*http.Request) (int, any)) http.H
 		if st := tr.serverTiming(); st != "" {
 			w.Header().Set("Server-Timing", st)
 		}
-		if status == http.StatusServiceUnavailable {
-			w.Header().Set("Retry-After", "1")
+		if status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests {
+			// Both shed classes — hard sheds (queue full, draining) and
+			// adaptive sheds (overload controller) — tell the client when
+			// the backlog should have drained at the measured element
+			// throughput, instead of a hardcoded guess.
+			w.Header().Set("Retry-After", strconv.Itoa(s.ctrl.RetryAfterSeconds()))
 		}
 		wstart := time.Now()
 		w.WriteHeader(status)
@@ -261,10 +280,18 @@ func (s *Server) noteRunStats(tr *Trace, began time.Time, ws []core.WorkerStat) 
 }
 
 // execute runs a job through admission control and maps pool errors to
-// HTTP status codes. Returns 0 on success.
+// HTTP status codes. Returns 0 on success. Admission is two-layered:
+// the adaptive overload controller sheds first (429, sojourn over
+// target for too long), then the bounded queue sheds on hard overflow
+// (503) — the 429 layer should normally keep the queue from ever
+// filling.
 func (s *Server) execute(r *http.Request, j *job) (int, error) {
 	if s.draining.Load() {
 		return http.StatusServiceUnavailable, ErrDraining
+	}
+	if ok, _ := s.ctrl.Admit(); !ok {
+		s.m.throttled.Add(1)
+		return http.StatusTooManyRequests, ErrOverloaded
 	}
 	ctx, cancel, err := s.requestCtx(r)
 	if err != nil {
@@ -295,19 +322,31 @@ func (s *Server) execute(r *http.Request, j *job) (int, error) {
 
 func errBody(err error) ErrorResponse { return ErrorResponse{Error: err.Error()} }
 
+// checkInput validates sortedness of a request array. Both modes run the
+// same O(n) scan; StrictInput buys a forensic error message (first
+// violating index and values) for the price of a second scan on the
+// failure path only.
+func (s *Server) checkInput(name string, v []int64) error {
+	if s.cfg.StrictInput {
+		return checkSortedStrict(name, v)
+	}
+	return checkSorted(name, v)
+}
+
 func (s *Server) handleMerge(r *http.Request) (int, any) {
 	var req MergeRequest
 	if status, err := decode(r, &req); err != nil {
 		return status, errBody(err)
 	}
-	if err := checkSorted("a", req.A); err != nil {
+	if err := s.checkInput("a", req.A); err != nil {
 		return http.StatusBadRequest, errBody(err)
 	}
-	if err := checkSorted("b", req.B); err != nil {
+	if err := s.checkInput("b", req.B); err != nil {
 		return http.StatusBadRequest, errBody(err)
 	}
 	out := make([]int64, len(req.A)+len(req.B))
 	j := s.newJob("merge", r)
+	j.elems = len(out)
 	if len(out) <= s.cfg.CoalesceLimit {
 		j.pair = &batch.Pair[int64]{A: req.A, B: req.B, Out: out}
 	} else {
@@ -337,6 +376,7 @@ func (s *Server) handleSort(r *http.Request) (int, any) {
 	}
 	data := req.Data
 	j := s.newJob("sort", r)
+	j.elems = len(data)
 	tr := j.trace
 	j.run = func(ctx context.Context, workers int) error {
 		began := time.Now()
@@ -361,13 +401,16 @@ func (s *Server) handleMergeK(r *http.Request) (int, any) {
 		return status, errBody(err)
 	}
 	for i, list := range req.Lists {
-		if err := checkSorted("lists["+strconv.Itoa(i)+"]", list); err != nil {
+		if err := s.checkInput("lists["+strconv.Itoa(i)+"]", list); err != nil {
 			return http.StatusBadRequest, errBody(err)
 		}
 	}
 	var result []int64
 	lists := req.Lists
 	j := s.newJob("mergek", r)
+	for _, list := range lists {
+		j.elems += len(list)
+	}
 	// kway rounds are not chunk-cancellable yet; observe ctx at the round
 	// boundary so an abandoned job at least never starts.
 	j.run = func(ctx context.Context, workers int) error {
@@ -399,15 +442,16 @@ func (s *Server) handleSetOps(r *http.Request) (int, any) {
 	default:
 		return http.StatusBadRequest, errBody(errors.New(`op must be "union", "intersect" or "diff"`))
 	}
-	if err := checkSorted("a", req.A); err != nil {
+	if err := s.checkInput("a", req.A); err != nil {
 		return http.StatusBadRequest, errBody(err)
 	}
-	if err := checkSorted("b", req.B); err != nil {
+	if err := s.checkInput("b", req.B); err != nil {
 		return http.StatusBadRequest, errBody(err)
 	}
 	var result []int64
 	a, b := req.A, req.B
 	j := s.newJob("setops", r)
+	j.elems = len(a) + len(b)
 	j.run = func(ctx context.Context, workers int) error {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -429,10 +473,10 @@ func (s *Server) handleSelect(r *http.Request) (int, any) {
 	if status, err := decode(r, &req); err != nil {
 		return status, errBody(err)
 	}
-	if err := checkSorted("a", req.A); err != nil {
+	if err := s.checkInput("a", req.A); err != nil {
 		return http.StatusBadRequest, errBody(err)
 	}
-	if err := checkSorted("b", req.B); err != nil {
+	if err := s.checkInput("b", req.B); err != nil {
 		return http.StatusBadRequest, errBody(err)
 	}
 	if req.K < 0 || req.K > len(req.A)+len(req.B) {
@@ -457,6 +501,12 @@ func (s *Server) handleSelect(r *http.Request) (int, any) {
 	return http.StatusOK, resp
 }
 
+// handleHealthz reports liveness plus the overload state machine.
+// Draining is the only 503: degraded and shedding still answer 200 —
+// the process is healthy, it is the offered load that isn't — with the
+// state in the body so orchestrators can route on it without killing
+// the instance. The same controller snapshot feeds /metrics and
+// /metrics/prom, so all three surfaces always agree.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if s.draining.Load() {
@@ -464,7 +514,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		_ = json.NewEncoder(w).Encode(map[string]string{"status": "draining"})
 		return
 	}
-	_ = json.NewEncoder(w).Encode(map[string]any{"status": "ok", "workers": s.cfg.Workers})
+	ov := s.ctrl.SnapshotNow()
+	status := "ok"
+	if ov.State != overload.Healthy.String() {
+		status = ov.State
+	}
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":   status,
+		"workers":  s.cfg.Workers,
+		"overload": ov,
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,233 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mergepath/internal/fault"
+	"mergepath/internal/overload"
+	"mergepath/internal/resilience"
+	"mergepath/internal/verify"
+)
+
+// TestChaosSoak is the closed-loop resilience exercise: injected
+// latency stalls the pool until the overload controller sheds, the
+// resilient client's circuit breaker opens on the 429s, the fault then
+// clears mid-run, and the whole stack must walk back — controller to
+// healthy, breaker through half-open to closed — with every successful
+// merge byte-identical to the reference oracle throughout.
+//
+// Runs a few seconds by default so tier-1 stays fast; set
+// MERGEPATH_SOAK (e.g. "60s") for the full soak (`make soak` does, with
+// -race).
+func TestChaosSoak(t *testing.T) {
+	total := 4 * time.Second
+	if env := os.Getenv("MERGEPATH_SOAK"); env != "" {
+		d, err := time.ParseDuration(env)
+		if err != nil {
+			t.Fatalf("MERGEPATH_SOAK=%q: %v", env, err)
+		}
+		total = d
+	}
+
+	inj, err := fault.Parse("sort:latency=30ms@1", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, Config{Workers: 2, Fault: inj, Overload: overload.Config{
+		Target:   time.Millisecond,
+		Interval: 10 * time.Millisecond,
+	}})
+
+	client := resilience.New(ts.Client(), resilience.Config{
+		MaxRetries: 2,
+		Backoff:    resilience.BackoffConfig{Base: 20 * time.Millisecond, Max: 250 * time.Millisecond},
+		Budget:     resilience.BudgetConfig{RatePerSec: 50, Burst: 100},
+		Breaker:    resilience.BreakerConfig{FailureThreshold: 3, OpenFor: 300 * time.Millisecond},
+		Seed:       42,
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), total+30*time.Second)
+	defer cancel()
+
+	var (
+		wrongBytes  atomic.Uint64 // 200s whose payload disagreed with the oracle
+		goodPhase1  atomic.Uint64 // verified successes while the fault was live
+		goodPhase2  atomic.Uint64 // verified successes after the fault cleared
+		faultOn     atomic.Bool
+		statesMu    sync.Mutex
+		statesSeen  = map[string]bool{}
+		stateOrder  []string
+		stopWorkers = make(chan struct{})
+		stopHealth  = make(chan struct{})
+	)
+	faultOn.Store(true)
+
+	// Health poller: records the server-side state timeline and — because
+	// SnapshotNow settles elapsed intervals — keeps the controller's
+	// clock ticking even when the breaker is swallowing client traffic.
+	var healthWG sync.WaitGroup
+	healthWG.Add(1)
+	go func() {
+		defer healthWG.Done()
+		for {
+			select {
+			case <-stopHealth:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+			hres, err := ts.Client().Get(ts.URL + "/healthz")
+			if err != nil {
+				continue
+			}
+			var health struct {
+				Status string `json:"status"`
+			}
+			_ = json.NewDecoder(hres.Body).Decode(&health)
+			hres.Body.Close()
+			statesMu.Lock()
+			if !statesSeen[health.Status] {
+				statesSeen[health.Status] = true
+				stateOrder = append(stateOrder, health.Status)
+			}
+			statesMu.Unlock()
+		}
+	}()
+
+	// Pressure: raw (non-retrying) sorts keep the injected 30ms rounds
+	// flowing while the fault is enabled, stalling the dispatcher.
+	var pressureWG sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		pressureWG.Add(1)
+		go func() {
+			defer pressureWG.Done()
+			for faultOn.Load() {
+				code := post(t, ts, "/v1/sort", SortRequest{Data: []int64{3, 1, 2}}, nil)
+				if code == 0 {
+					return
+				}
+			}
+		}()
+	}
+
+	// Merge workers: the resilient client under test. Every 200 is
+	// checked byte-for-byte against the reference merge.
+	var workerWG sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		workerWG.Add(1)
+		go func(seed int64) {
+			defer workerWG.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stopWorkers:
+					return
+				default:
+				}
+				a := sortedInt64(rng, 1+rng.Intn(64))
+				b := sortedInt64(rng, 1+rng.Intn(64))
+				body, _ := json.Marshal(MergeRequest{A: a, B: b})
+				resp, err := client.Post(ctx, ts.URL+"/v1/merge", "application/json", body)
+				if err != nil {
+					// Breaker-open rejects return instantly; don't spin.
+					time.Sleep(2 * time.Millisecond)
+					continue
+				}
+				if resp.StatusCode == http.StatusOK {
+					var mr MergeResponse
+					decodeErr := json.NewDecoder(resp.Body).Decode(&mr)
+					resp.Body.Close()
+					if decodeErr != nil {
+						wrongBytes.Add(1)
+						continue
+					}
+					if !verify.Equal(mr.Result, verify.ReferenceMerge(a, b)) {
+						wrongBytes.Add(1)
+						continue
+					}
+					if faultOn.Load() {
+						goodPhase1.Add(1)
+					} else {
+						goodPhase2.Add(1)
+					}
+				} else {
+					resp.Body.Close()
+				}
+			}
+		}(int64(100 + g))
+	}
+
+	// Phase 1: fault live for half the run. Phase 2: fault clears.
+	time.Sleep(total / 2)
+	inj.SetEnabled(false)
+	faultOn.Store(false)
+	pressureWG.Wait()
+	time.Sleep(total / 2)
+	close(stopWorkers)
+	workerWG.Wait()
+
+	// Grace period: wait for the controller to settle back to healthy.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.ctrl.State() != overload.Healthy && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		_ = s.ctrl.SnapshotNow()
+	}
+	close(stopHealth)
+	healthWG.Wait()
+
+	snap := s.Snapshot()
+	stats := client.StatsSnapshot()
+	statesMu.Lock()
+	timeline := append([]string(nil), stateOrder...)
+	sawShedding := statesSeen["shedding"]
+	statesMu.Unlock()
+	t.Logf("state timeline: %v", timeline)
+	t.Logf("server: throttled=%d sheds(503)=%d transitions(d/s/h)=%d/%d/%d",
+		snap.Queue.Throttled, snap.Queue.Shed,
+		snap.Overload.TransitionsDegraded, snap.Overload.TransitionsShedding, snap.Overload.TransitionsHealthy)
+	t.Logf("client: %+v", stats)
+	t.Logf("goodput: phase1=%d phase2=%d wrong=%d", goodPhase1.Load(), goodPhase2.Load(), wrongBytes.Load())
+
+	// Correctness is non-negotiable at every point of the loop.
+	if n := wrongBytes.Load(); n != 0 {
+		t.Fatalf("%d successful responses carried wrong merge bytes", n)
+	}
+	// The fault must have tripped the controller all the way to shedding
+	// and produced 429s...
+	if !sawShedding {
+		t.Errorf("server never reached shedding; timeline %v", timeline)
+	}
+	if snap.Queue.Throttled == 0 {
+		t.Error("no requests were throttled with 429")
+	}
+	if snap.Overload.TransitionsShedding == 0 || snap.Overload.TransitionsHealthy == 0 {
+		t.Errorf("incomplete state cycle: transitions %d/%d/%d",
+			snap.Overload.TransitionsDegraded, snap.Overload.TransitionsShedding, snap.Overload.TransitionsHealthy)
+	}
+	// ...the breaker must have opened on them and closed again after the
+	// fault cleared...
+	if stats.BreakerOpens == 0 {
+		t.Error("client breaker never opened under shedding")
+	}
+	if stats.BreakerCloses == 0 {
+		t.Error("client breaker never closed after recovery")
+	}
+	if st := client.BreakerStates()["/v1/merge"]; st != "closed" {
+		t.Errorf("merge breaker finished %q, want closed", st)
+	}
+	// ...and goodput must survive the episode: some successes under
+	// fault (retries doing their job) and a recovered flow afterwards.
+	if goodPhase2.Load() == 0 {
+		t.Error("no successful merges after the fault cleared")
+	}
+	if s.ctrl.State() != overload.Healthy {
+		t.Errorf("controller finished %v, want healthy", s.ctrl.State())
+	}
+}

@@ -260,7 +260,17 @@ func (c *Controller) RetryAfterSeconds() int {
 // intervals are settled here — empty intervals with no standing backlog
 // count as good, so an idle daemon recovers.
 func (c *Controller) tickLocked(now time.Time) {
+	// Intervals with no sojourn sample all get the same verdict (decided
+	// by the standing backlog alone), and identical verdicts beyond one
+	// full escalation (1+ShedIntervals bad) or recovery
+	// (2×RecoverIntervals good) streak are idempotent. After a long gap,
+	// fast-forward across the idempotent span instead of settling
+	// O(gap/Interval) intervals one at a time under the lock.
+	keep := c.cfg.Interval * time.Duration(2*c.cfg.RecoverIntervals+c.cfg.ShedIntervals+1)
 	for now.Sub(c.intervalStart) >= c.cfg.Interval {
+		if !c.sawSojourn && now.Sub(c.intervalStart) > keep {
+			c.intervalStart = now.Add(-keep)
+		}
 		bad := false
 		switch {
 		case c.sawSojourn:

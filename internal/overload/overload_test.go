@@ -134,6 +134,37 @@ func TestStalledQueueIsBad(t *testing.T) {
 	}
 }
 
+func TestLongIdleGapFastForwards(t *testing.T) {
+	// A year-long gap is ~3e9 intervals at the test cadence; without the
+	// fast-forward the first admit after the gap would iterate them one
+	// at a time under the lock (and this test would time out).
+	cl := newClock()
+	ctrl := newTestController(cl, testCfg)
+	for i := 0; i < 3; i++ {
+		badInterval(ctrl, cl)
+	}
+	if st := ctrl.State(); st != Shedding {
+		t.Fatalf("setup: %v, want shedding", st)
+	}
+	cl.advance(365 * 24 * time.Hour)
+	if ok, _ := ctrl.admit(cl.now()); !ok {
+		t.Fatal("admit refused after a long idle gap")
+	}
+	if st := ctrl.State(); st != Healthy {
+		t.Fatalf("after long idle gap: %v, want healthy", st)
+	}
+	// Same gap with a standing backlog: every empty interval is bad, the
+	// fast-forward must still apply, and the state must escalate.
+	ctrl.Enqueue(1000)
+	cl.advance(365 * 24 * time.Hour)
+	if ok, ra := ctrl.admit(cl.now()); ok || ra < ctrl.cfg.MinRetryAfter {
+		t.Fatalf("stalled-gap admit = (%v, %v), want refusal with Retry-After >= min", ok, ra)
+	}
+	if st := ctrl.State(); st != Shedding {
+		t.Fatalf("after long stalled gap: %v, want shedding", st)
+	}
+}
+
 func TestRetryAfterUsesDrainRate(t *testing.T) {
 	cl := newClock()
 	ctrl := newTestController(cl, testCfg)

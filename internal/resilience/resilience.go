@@ -510,7 +510,11 @@ func (c *Client) Post(ctx context.Context, url, contentType string, body []byte)
 			if lastErr == nil {
 				return lastResp, nil
 			}
-			return lastResp, fmt.Errorf("%w (last error: %v)", ErrBudgetExhausted, lastErr)
+			// Never pair a response with an error: callers follow the
+			// usual "err != nil ⇒ ignore resp" convention and would leak
+			// the body.
+			drain(lastResp)
+			return nil, fmt.Errorf("%w (last error: %v)", ErrBudgetExhausted, lastErr)
 		}
 		delay := c.jitter(attempt)
 		if ra := retryAfter(resp); ra > 0 {
@@ -539,27 +543,46 @@ func drain(resp *http.Response) {
 type attemptResult struct {
 	resp   *http.Response
 	err    error
+	cancel context.CancelFunc // releases this racer's own context
 	hedged bool
+}
+
+// cancelOnClose releases the winning racer's context once the caller
+// closes the response body. The winner's context must outlive
+// attemptOnce — canceling it earlier would abort the body read for any
+// payload the transport has not already buffered.
+type cancelOnClose struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelOnClose) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
 }
 
 // attemptOnce performs one logical attempt: the primary request, plus —
 // when hedging is on and the primary is slow — one duplicate racing it.
 // The first *response* wins (whatever its status: retry policy is the
 // outer loop's job); a racer's transport error only decides the attempt
-// once no other racer is left. The loser is canceled and drained.
+// once no other racer is left. Each racer runs under its own context so
+// the loser can be canceled and drained without touching the winner,
+// whose context is released only when its body is closed.
 func (c *Client) attemptOnce(ctx context.Context, url, contentType string, body []byte) (*http.Response, error) {
 	if c.cfg.HedgeAfter <= 0 {
 		c.attempts.Add(1)
 		return c.send(ctx, url, contentType, body)
 	}
-	raceCtx, cancel := context.WithCancel(ctx)
 	results := make(chan attemptResult, 2) // buffered: losers never block
-	fire := func(hedged bool) {
+	fire := func(rctx context.Context, cancel context.CancelFunc, hedged bool) {
 		c.attempts.Add(1)
-		resp, err := c.send(raceCtx, url, contentType, body)
-		results <- attemptResult{resp: resp, err: err, hedged: hedged}
+		resp, err := c.send(rctx, url, contentType, body)
+		results <- attemptResult{resp: resp, err: err, cancel: cancel, hedged: hedged}
 	}
-	go fire(false)
+	primCtx, primCancel := context.WithCancel(ctx)
+	var hedgeCancel context.CancelFunc
+	go fire(primCtx, primCancel, false)
 	hedgeTimer := time.NewTimer(c.cfg.HedgeAfter)
 	defer hedgeTimer.Stop()
 	inFlight, hedged := 1, false
@@ -571,29 +594,41 @@ func (c *Client) attemptOnce(ctx context.Context, url, contentType string, body 
 				hedged = true
 				inFlight++
 				c.hedges.Add(1)
-				go fire(true)
+				var hedgeCtx context.Context
+				hedgeCtx, hedgeCancel = context.WithCancel(ctx)
+				go fire(hedgeCtx, hedgeCancel, true)
 			}
 		case r := <-results:
 			inFlight--
 			if r.err != nil {
+				r.cancel()
 				if firstErr == nil {
 					firstErr = r.err
 				}
 				if inFlight > 0 {
 					continue // the surviving racer decides the attempt
 				}
-				cancel()
 				return nil, firstErr
 			}
-			cancel()
 			if inFlight > 0 {
-				// Reap the loser in the background so its connection is
-				// freed; the canceled context unblocks it promptly.
-				go func() { drain((<-results).resp) }()
+				// Abort the loser and reap it in the background so its
+				// connection is freed; its own canceled context unblocks
+				// it promptly without disturbing the winner.
+				loserCancel := hedgeCancel
+				if r.hedged {
+					loserCancel = primCancel
+				}
+				loserCancel()
+				go func() {
+					l := <-results
+					drain(l.resp)
+					l.cancel()
+				}()
 			}
 			if r.hedged {
 				c.hedgeWins.Add(1)
 			}
+			r.resp.Body = &cancelOnClose{ReadCloser: r.resp.Body, cancel: r.cancel}
 			return r.resp, nil
 		}
 	}

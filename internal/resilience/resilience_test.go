@@ -1,11 +1,14 @@
 package resilience
 
 import (
+	"bytes"
 	"context"
 	"errors"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -329,6 +332,45 @@ func TestHedgedRequestWinsOnSlowPrimary(t *testing.T) {
 	s := c.StatsSnapshot()
 	if s.Hedges != 1 || s.HedgeWins != 1 {
 		t.Fatalf("stats %+v, want hedges=1 hedge_wins=1", s)
+	}
+}
+
+func TestHedgedWinnerBodyReadableAfterReturn(t *testing.T) {
+	// Regression: the winning racer's context must stay alive until its
+	// body is consumed. The handler flushes the first byte with the
+	// headers and delivers the bulk after a pause, so nothing beyond that
+	// byte is buffered by the transport when Post returns — a premature
+	// cancel of the winner's context would surface here as a "context
+	// canceled" error mid-read.
+	payload := bytes.Repeat([]byte("merge-path"), 100_000) // ~1 MB
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(2 * time.Second):
+			}
+		}
+		w.Header().Set("Content-Length", strconv.Itoa(len(payload)))
+		w.Write(payload[:1])
+		w.(http.Flusher).Flush()
+		time.Sleep(50 * time.Millisecond)
+		w.Write(payload[1:])
+	}))
+	defer ts.Close()
+	c := New(ts.Client(), Config{HedgeAfter: 20 * time.Millisecond})
+	resp, err := c.Post(context.Background(), ts.URL, "application/json", []byte("{}"))
+	if err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading hedged winner's body: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("hedged winner body truncated/corrupted: got %d bytes, want %d", len(got), len(payload))
 	}
 }
 

@@ -182,12 +182,16 @@ func (p *pool) submit(j *job) error {
 	if p.draining {
 		return ErrDraining
 	}
+	// Enqueue before the channel send: once the job is in the queue the
+	// dispatcher may finish it (calling Done) at any moment, and the
+	// backlog must never go transiently negative.
+	p.ctrl.Enqueue(j.elems)
 	select {
 	case p.queue <- j:
 		p.queueDepth.Add(1)
-		p.ctrl.Enqueue(j.elems)
 		return nil
 	default:
+		p.ctrl.Done(j.elems) // roll back: the job was never admitted
 		return ErrQueueFull
 	}
 }

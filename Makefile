@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify cover bench experiments fmt serve loadtest chaos soak lint-docs
+.PHONY: all build vet test race verify cover bench experiments fmt serve loadtest chaos soak lint-docs cluster cluster-quick
 
 all: build vet test
 
@@ -19,20 +19,23 @@ race: vet
 	$(GO) test -race ./internal/core ./internal/psort ./internal/spm \
 		./internal/kway ./internal/setops ./internal/sched ./internal/baseline \
 		./internal/server ./internal/batch ./internal/stats ./internal/fault \
-		./internal/overload ./internal/resilience
+		./internal/overload ./internal/resilience ./internal/router
 
 # Godoc audit: every exported identifier in the service-facing packages
 # must carry a doc comment (see cmd/lintdocs). Fails listing each gap.
 lint-docs:
 	$(GO) run ./cmd/lintdocs ./internal/server ./internal/core \
 		./internal/batch ./internal/stats ./internal/overload \
-		./internal/resilience
+		./internal/resilience ./internal/router ./internal/promtext \
+		./cmd/mergerouter
 
 # Full pre-merge gate: build, vet, unit tests, godoc audit, race suite
 # (which includes the fault-injection lifecycle tests in internal/server
-# and internal/fault), and a chaos pass against a live in-process daemon.
-# The longer overload/breaker soak is its own target (`make soak`).
-verify: build vet test lint-docs race chaos
+# and internal/fault), a chaos pass against a live in-process daemon,
+# and the in-process cluster soak (3 backends + router, one backend
+# faulted, under -race). The longer overload/breaker soak is its own
+# target (`make soak`); the multi-process cluster is `make cluster`.
+verify: build vet test lint-docs race chaos cluster-quick
 
 cover:
 	$(GO) test -cover ./...
@@ -69,6 +72,20 @@ loadtest:
 # actually recovered.
 chaos:
 	$(GO) run ./cmd/mergeload -chaos -duration 3s -conc 16 -dist skew
+
+# In-process router cluster soak under -race: three real backends (one
+# injecting errors into 80% of its merge rounds) behind one router;
+# asserts the success rate stays >=95%, every 200 is the exact reference
+# merge, and only the faulted backend's breaker opened.
+cluster-quick:
+	$(GO) test -race -run TestClusterSoak -count=1 ./internal/router
+
+# Multi-process cluster: build real binaries, start three mergepathd
+# backends (one with -fault), front them with mergerouter, drive the
+# router with mergeload, and assert degradation stayed local. See
+# scripts/cluster.sh for knobs (PORT_BASE, DURATION, FAULT_SPEC).
+cluster:
+	./scripts/cluster.sh
 
 # Overload/resilience soak: 60 seconds of injected latency under -race.
 # Drives the full control loop — healthy -> degraded -> shedding with

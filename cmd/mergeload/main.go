@@ -157,19 +157,29 @@ func main() {
 			o.retries, o.hedgeAfter, o.budgetRate)
 	}
 
+	target := detectTarget(base, client)
+	fmt.Printf("target: %s at %s\n", target, base)
+
 	run(base, client, rclient, reqs, o.warmup, o, nil) // warmup, result discarded
 	timeline := newStateTimeline()
 	res := run(base, client, rclient, reqs, o.duration, o, timeline)
 
 	printTable(o, res)
-	snap := fetchServerSnapshot(base, client)
-	printServerReport(snap)
+	if target != "router" {
+		// The per-round balance report is node-specific; a router's
+		// /metrics speaks a different schema.
+		printServerReport(fetchServerSnapshot(base, client))
+	}
 	if rclient != nil {
 		printClientReport(rclient)
 	}
 	timeline.print()
 	if o.jsonPath != "" {
-		writeJSON(o, res, base, client, snap, rclient, timeline)
+		var snap *server.MetricsSnapshot
+		if target != "router" {
+			snap = fetchServerSnapshot(base, client)
+		}
+		writeJSON(o, res, base, client, snap, rclient, timeline, target)
 	}
 	if o.chaos {
 		verifyChaos(srv, base, client, res)
@@ -268,6 +278,24 @@ func (tl *stateTimeline) print() {
 	fmt.Printf("server state timeline: %s\n", strings.Join(parts, " -> "))
 }
 
+// detectTarget asks /healthz which tier the run is driving: mergepathd
+// reports role "node", mergerouter reports "router". Silent or roleless
+// targets default to "node" (daemons predating the role field).
+func detectTarget(base string, client *http.Client) string {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return "node"
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Role string `json:"role"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil || h.Role == "" {
+		return "node"
+	}
+	return h.Role
+}
+
 // fetchServerSnapshot pulls the daemon's own /metrics view of the run;
 // nil when the daemon is unreachable or speaks a different schema.
 func fetchServerSnapshot(base string, client *http.Client) *server.MetricsSnapshot {
@@ -337,6 +365,25 @@ type result struct {
 	perEndpointOK  map[string]*atomic.Int64
 	perStage       map[string]*stats.Histogram // from Server-Timing headers
 	mu             sync.Mutex
+}
+
+// refused returns the count of outcomes the service turned away (503
+// shed + 429 throttled + local breaker rejects) and the total completed
+// outcomes (open-loop drops excluded: those never left the client).
+func (r *result) refused() (refused, total int64) {
+	refused = r.shed.Load() + r.throttled.Load() + r.rejected.Load()
+	total = refused + r.ok.Load() + r.errs.Load() + r.faulted.Load()
+	return refused, total
+}
+
+// rejectionRatio is the fraction of completed outcomes the service
+// refused — the load-shedding headline number for a run.
+func (r *result) rejectionRatio() float64 {
+	refused, total := r.refused()
+	if total == 0 {
+		return 0
+	}
+	return float64(refused) / float64(total)
 }
 
 func newResult() *result {
@@ -614,6 +661,9 @@ func printTable(o options, res *result) {
 	printStageTable(res)
 	fmt.Printf("shed(503)=%d throttled(429)=%d breaker_rejected=%d errors=%d dropped=%d faulted(5xx)=%d\n",
 		res.shed.Load(), res.throttled.Load(), res.rejected.Load(), res.errs.Load(), res.dropped.Load(), res.faulted.Load())
+	refused, total := res.refused()
+	fmt.Printf("rejection ratio: %.2f%% (%d of %d completed outcomes refused: 503+429+breaker)\n",
+		100*res.rejectionRatio(), refused, total)
 }
 
 // printStageTable prints the per-stage latency view assembled from the
@@ -662,6 +712,10 @@ type benchDoc struct {
 		Dist     string  `json:"dist"`
 		Duration string  `json:"duration"`
 		Workers  int     `json:"workers,omitempty"`
+		// Target is what tier the run drove, from /healthz's role field:
+		// "node" (mergepathd) or "router" (mergerouter). Runs against
+		// different tiers must not be compared as if same-machine.
+		Target string `json:"target"`
 	} `json:"config"`
 	Totals struct {
 		OK          int64   `json:"ok"`
@@ -673,6 +727,9 @@ type benchDoc struct {
 		Throughput  float64 `json:"req_per_s"`
 		ElemPerSec  float64 `json:"elem_per_s"`
 		ElapsedSecs float64 `json:"elapsed_s"`
+		// RejectionRatio is refused outcomes (503 + 429 + breaker
+		// rejects) over all completed outcomes.
+		RejectionRatio float64 `json:"rejection_ratio"`
 	} `json:"totals"`
 	Latency     stats.HistogramSnapshot            `json:"latency"`
 	PerEndpoint map[string]stats.HistogramSnapshot `json:"per_endpoint"`
@@ -695,8 +752,9 @@ type benchDoc struct {
 	ServerMetrics    json.RawMessage `json:"server_metrics,omitempty"`
 }
 
-func writeJSON(o options, res *result, base string, client *http.Client, snap *server.MetricsSnapshot, rclient *resilience.Client, tl *stateTimeline) {
+func writeJSON(o options, res *result, base string, client *http.Client, snap *server.MetricsSnapshot, rclient *resilience.Client, tl *stateTimeline, target string) {
 	var doc benchDoc
+	doc.Config.Target = target
 	doc.Config.Mode = "closed"
 	if o.rate > 0 {
 		doc.Config.Mode = "open"
@@ -713,6 +771,7 @@ func writeJSON(o options, res *result, base string, client *http.Client, snap *s
 	doc.Totals.Rejected = res.rejected.Load()
 	doc.Totals.Errors = res.errs.Load()
 	doc.Totals.Dropped = res.dropped.Load()
+	doc.Totals.RejectionRatio = res.rejectionRatio()
 	doc.Totals.ElapsedSecs = res.elapsed.Seconds()
 	if doc.Totals.ElapsedSecs > 0 {
 		doc.Totals.Throughput = float64(doc.Totals.OK) / doc.Totals.ElapsedSecs

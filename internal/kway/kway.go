@@ -23,22 +23,52 @@ func Merge[T cmp.Ordered](lists [][]T, p int) []T {
 	if p < 1 {
 		panic("kway: worker count must be positive")
 	}
+	if len(lists) == 0 {
+		return nil
+	}
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	return MergeInto(make([]T, total), lists, p)
+}
+
+// MergeInto is Merge writing its result into a caller-supplied buffer:
+// dst must have len ≥ the total element count of lists, and the merged
+// output is returned as dst[:total]. The final merge round targets dst
+// directly, so a caller that already owns the response buffer (the
+// mergerouter gather stage, pooled arenas) saves the last full-size
+// allocation+copy. Intermediate rounds still allocate scratch; lists
+// are never modified. dst must not alias any input list.
+func MergeInto[T cmp.Ordered](dst []T, lists [][]T, p int) []T {
+	if p < 1 {
+		panic("kway: worker count must be positive")
+	}
 	total := 0
 	runs := make([][]T, 0, len(lists))
 	for _, l := range lists {
 		total += len(l)
 		runs = append(runs, l)
 	}
+	if len(dst) < total {
+		panic("kway: destination shorter than total input length")
+	}
+	dst = dst[:total]
 	if len(runs) == 0 {
-		return nil
+		return dst
 	}
 	if len(runs) == 1 {
-		return append([]T(nil), runs[0]...)
+		copy(dst, runs[0])
+		return dst
 	}
 	for len(runs) > 1 {
-		// Each round writes into a fresh backing array; inputs (slices of
-		// the previous round's array or the caller's lists) stay intact.
-		buf := make([]T, total)
+		// Each round writes into a fresh backing array (the final round
+		// into dst); inputs (slices of the previous round's array or the
+		// caller's lists) stay intact.
+		buf := dst
+		if len(runs) > 2 {
+			buf = make([]T, total)
+		}
 		pairs := len(runs) / 2
 		next := make([][]T, 0, (len(runs)+1)/2)
 		perMerge := p / pairs

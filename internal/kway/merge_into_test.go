@@ -1,0 +1,60 @@
+package kway
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// sortedList draws n values from [0, bound) in sorted order.
+func sortedList(rng *rand.Rand, n int, bound int64) []int64 {
+	s := make([]int64, n)
+	for i := range s {
+		s[i] = rng.Int63n(bound)
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s
+}
+
+func TestMergeIntoMatchesMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(9)
+		lists := make([][]int64, k)
+		total := 0
+		for i := range lists {
+			lists[i] = sortedList(rng, rng.Intn(200), 64)
+			total += len(lists[i])
+		}
+		want := HeapMerge(lists)
+		dst := make([]int64, total+rng.Intn(5)) // spare capacity must be tolerated
+		got := MergeInto(dst, lists, 1+rng.Intn(4))
+		if len(got) != total {
+			t.Fatalf("trial %d: got %d elements, want %d", trial, len(got), total)
+		}
+		if total > 0 && &got[0] != &dst[0] {
+			t.Fatalf("trial %d: result does not alias dst", trial)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: mismatch at %d: got %d want %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMergeIntoEdgeCases(t *testing.T) {
+	if got := MergeInto([]int64{}, nil, 2); len(got) != 0 {
+		t.Fatalf("no lists: got %v", got)
+	}
+	one := MergeInto(make([]int64, 3), [][]int64{{1, 2, 3}}, 2)
+	if len(one) != 3 || one[0] != 1 || one[2] != 3 {
+		t.Fatalf("single list: got %v", one)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short dst: expected panic")
+		}
+	}()
+	MergeInto(make([]int64, 2), [][]int64{{1, 2}, {3}}, 1)
+}

@@ -1,0 +1,92 @@
+// Package promtext renders the Prometheus text exposition format
+// (version 0.0.4) used by the daemons' /metrics/prom endpoints. It
+// exists so mergepathd and mergerouter emit byte-compatible documents
+// from one writer instead of two hand-rolled ones: each Writer
+// accumulates samples, emitting every metric's # HELP / # TYPE preamble
+// exactly once, on first use. Latency histograms are exported as
+// summaries (quantile series plus _sum and _count), which is what the
+// fixed-bucket streaming histogram supports without re-bucketing; the
+// unit convention is seconds, per Prometheus practice (see
+// stats.Millis for the repo-wide unit policy).
+package promtext
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mergepath/internal/stats"
+)
+
+// ContentType is the content type Prometheus scrapers expect for the
+// text exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Writer accumulates one exposition document. The zero value is not
+// usable; construct with NewWriter.
+type Writer struct {
+	b      strings.Builder
+	headed map[string]bool
+}
+
+// NewWriter returns an empty exposition document.
+func NewWriter() *Writer {
+	return &Writer{headed: make(map[string]bool)}
+}
+
+// Head writes the HELP/TYPE preamble for name once; later calls for the
+// same name are no-ops so labelled series can share one preamble.
+func (w *Writer) Head(name, typ, help string) {
+	if w.headed[name] {
+		return
+	}
+	w.headed[name] = true
+	fmt.Fprintf(&w.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Sample emits one series: name{labels} value. labels may be "".
+func (w *Writer) Sample(name, labels string, value float64) {
+	w.b.WriteString(name)
+	if labels != "" {
+		w.b.WriteByte('{')
+		w.b.WriteString(labels)
+		w.b.WriteByte('}')
+	}
+	w.b.WriteByte(' ')
+	w.b.WriteString(strconv.FormatFloat(value, 'g', -1, 64))
+	w.b.WriteByte('\n')
+}
+
+// Counter emits a labelled counter sample with its preamble.
+func (w *Writer) Counter(name, labels, help string, value float64) {
+	w.Head(name, "counter", help)
+	w.Sample(name, labels, value)
+}
+
+// Gauge emits a labelled gauge sample with its preamble.
+func (w *Writer) Gauge(name, labels, help string, value float64) {
+	w.Head(name, "gauge", help)
+	w.Sample(name, labels, value)
+}
+
+// Secs converts a wire-format millisecond value to seconds, the
+// exposition's unit convention.
+func Secs(ms float64) float64 { return ms / 1e3 }
+
+// LatencySummary emits one latency histogram snapshot as a Prometheus
+// summary in seconds: p50/p95/p99 quantile series plus _sum and _count.
+func (w *Writer) LatencySummary(name, labels, help string, h stats.HistogramSnapshot) {
+	w.Head(name, "summary", help)
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	w.Sample(name, labels+sep+`quantile="0.5"`, Secs(h.P50MS))
+	w.Sample(name, labels+sep+`quantile="0.95"`, Secs(h.P95MS))
+	w.Sample(name, labels+sep+`quantile="0.99"`, Secs(h.P99MS))
+	w.Sample(name+"_sum", labels, Secs(h.SumMS))
+	w.Sample(name+"_count", labels, float64(h.Count))
+}
+
+// String returns the accumulated exposition document.
+func (w *Writer) String() string { return w.b.String() }

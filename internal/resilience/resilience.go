@@ -479,6 +479,15 @@ func retryAfter(resp *http.Response) time.Duration {
 // the retryable ones until attempts or budget run out, then hands the
 // last response over.
 func (c *Client) Post(ctx context.Context, url, contentType string, body []byte) (*http.Response, error) {
+	return c.PostHeaders(ctx, url, contentType, nil, body)
+}
+
+// PostHeaders is Post with extra request headers applied to every
+// attempt (retries and hedges included) — how mergerouter forwards
+// X-Request-Id and X-Timeout-Ms to its backends without giving up the
+// resilience stack. hdr may be nil; Content-Type is still governed by
+// contentType.
+func (c *Client) PostHeaders(ctx context.Context, url, contentType string, hdr http.Header, body []byte) (*http.Response, error) {
 	c.calls.Add(1)
 	br := c.breakerFor(url)
 	var lastResp *http.Response
@@ -495,7 +504,7 @@ func (c *Client) Post(ctx context.Context, url, contentType string, body []byte)
 			drain(lastResp) // superseded by the attempt we are about to make
 			lastResp = nil
 		}
-		resp, err := c.attemptOnce(ctx, url, contentType, body)
+		resp, err := c.attemptOnce(ctx, url, contentType, hdr, body)
 		success := err == nil && !retryable(resp.StatusCode)
 		br.Record(success)
 		if success {
@@ -569,15 +578,15 @@ func (b *cancelOnClose) Close() error {
 // once no other racer is left. Each racer runs under its own context so
 // the loser can be canceled and drained without touching the winner,
 // whose context is released only when its body is closed.
-func (c *Client) attemptOnce(ctx context.Context, url, contentType string, body []byte) (*http.Response, error) {
+func (c *Client) attemptOnce(ctx context.Context, url, contentType string, hdr http.Header, body []byte) (*http.Response, error) {
 	if c.cfg.HedgeAfter <= 0 {
 		c.attempts.Add(1)
-		return c.send(ctx, url, contentType, body)
+		return c.send(ctx, url, contentType, hdr, body)
 	}
 	results := make(chan attemptResult, 2) // buffered: losers never block
 	fire := func(rctx context.Context, cancel context.CancelFunc, hedged bool) {
 		c.attempts.Add(1)
-		resp, err := c.send(rctx, url, contentType, body)
+		resp, err := c.send(rctx, url, contentType, hdr, body)
 		results <- attemptResult{resp: resp, err: err, cancel: cancel, hedged: hedged}
 	}
 	primCtx, primCancel := context.WithCancel(ctx)
@@ -635,10 +644,15 @@ func (c *Client) attemptOnce(ctx context.Context, url, contentType string, body 
 }
 
 // send performs one HTTP POST with a replayable body.
-func (c *Client) send(ctx context.Context, url, contentType string, body []byte) (*http.Response, error) {
+func (c *Client) send(ctx context.Context, url, contentType string, hdr http.Header, body []byte) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
+	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
 	}
 	req.Header.Set("Content-Type", contentType)
 	return c.http.Do(req)

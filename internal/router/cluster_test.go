@@ -1,0 +1,181 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"mergepath/internal/fault"
+	"mergepath/internal/resilience"
+	"mergepath/internal/server"
+	"mergepath/internal/verify"
+)
+
+// TestClusterSoak is the in-process version of `make cluster`: three
+// real mergepathd backends — one injecting errors into 80% of its merge
+// rounds — behind one router, under closed-loop mixed traffic (small
+// whole-routed merges and large scattered ones). It asserts the fault
+// stays local: the router's success rate stays high because requests
+// reroute, every 200 is still the exact reference merge, the faulted
+// backend's circuit breaker opened, and the healthy backends' breakers
+// never did. Set MERGEPATH_CLUSTER_SOAK=1 for a longer run.
+func TestClusterSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster soak skipped in -short")
+	}
+	const faulted = 2
+	inj, err := fault.Parse("merge:error=0.8", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		nodes    []*server.Server
+		nodeURLs []string
+	)
+	for i := 0; i < 3; i++ {
+		cfg := server.Config{Workers: 2, QueueDepth: 64}
+		if i == faulted {
+			cfg.Fault = inj
+		}
+		s := server.New(cfg)
+		ts := httptest.NewServer(s)
+		nodes = append(nodes, s)
+		nodeURLs = append(nodeURLs, ts.URL)
+		t.Cleanup(func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = s.Drain(ctx)
+		})
+	}
+	rt, err := New(Config{
+		Backends:         nodeURLs,
+		HealthInterval:   20 * time.Millisecond,
+		ScatterThreshold: 1024,
+		MaxScatter:       3,
+		Resilience: resilience.Config{
+			MaxRetries: 1,
+			Backoff:    resilience.BackoffConfig{Base: time.Millisecond, Max: 10 * time.Millisecond},
+			Breaker:    resilience.BreakerConfig{FailureThreshold: 5, OpenFor: 200 * time.Millisecond},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	ts := httptest.NewServer(rt)
+	t.Cleanup(ts.Close)
+
+	requests := 150
+	if os.Getenv("MERGEPATH_CLUSTER_SOAK") != "" {
+		requests = 2000
+	}
+	const workers = 4
+	var (
+		mu       sync.Mutex
+		ok, fail int
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for n := 0; n < requests/workers; n++ {
+				var a, b []int64
+				if n%3 == 0 { // large: scattered across the fleet
+					a = sortedInt64(rng, 800+rng.Intn(800), 1<<20)
+					b = sortedInt64(rng, 800+rng.Intn(800), 64) // duplicate-heavy side
+				} else { // small: routed whole
+					a = sortedInt64(rng, rng.Intn(300), 1<<20)
+					b = sortedInt64(rng, rng.Intn(300), 1<<20)
+				}
+				var got server.MergeResponse
+				code := post(t, ts.URL, "/v1/merge", server.MergeRequest{A: a, B: b}, &got)
+				mu.Lock()
+				if code == http.StatusOK {
+					ok++
+				} else {
+					fail++
+				}
+				mu.Unlock()
+				if code == http.StatusOK && !verify.Equal(got.Result, verify.ReferenceMerge(a, b)) {
+					t.Errorf("worker %d req %d: wrong merge through faulted cluster", w, n)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := ok + fail
+	if total == 0 {
+		t.Fatal("no requests completed")
+	}
+	if rate := float64(ok) / float64(total); rate < 0.95 {
+		t.Fatalf("ok rate %.3f (%d/%d) — fault did not stay local", rate, ok, total)
+	}
+
+	// The fault's blast radius: the faulted backend's merge breaker
+	// opened at least once; no healthy backend's breaker ever did.
+	for i, b := range rt.reg.backends {
+		st := b.client.StatsSnapshot()
+		if i == faulted {
+			if st.BreakerOpens == 0 {
+				t.Errorf("faulted backend: breaker never opened (errors=%d)", b.errors.Load())
+			}
+			continue
+		}
+		if st.BreakerOpens != 0 {
+			t.Errorf("healthy backend %d: breaker opened %d times", i, st.BreakerOpens)
+		}
+	}
+
+	// Errors concentrated on the faulted backend.
+	var healthyErrs, faultedErrs uint64
+	for i, b := range rt.reg.backends {
+		if i == faulted {
+			faultedErrs = b.errors.Load()
+		} else {
+			healthyErrs += b.errors.Load()
+		}
+	}
+	if faultedErrs == 0 {
+		t.Error("faulted backend recorded no errors — injector never fired?")
+	}
+	if healthyErrs > faultedErrs/4 {
+		t.Errorf("errors not concentrated: healthy=%d faulted=%d", healthyErrs, faultedErrs)
+	}
+	if inj.Errors.Load() == 0 {
+		t.Error("fault injector idle — the soak tested nothing")
+	}
+
+	// The router survived with its fleet view intact: healthz still ok
+	// (the faulted node answers /healthz fine; its failures are
+	// request-level) and reroutes were actually exercised.
+	snap := rt.Snapshot()
+	if snap.Routing.Rerouted == 0 {
+		t.Error("no reroutes recorded despite an 80% faulty backend")
+	}
+	if snap.Routing.Scattered == 0 {
+		t.Error("no scatters recorded")
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h RouterHealth
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("router health %q after soak, want ok (states %v)", h.Status, h.BackendStates)
+	}
+}

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestHealthzRoundTrip pins the /healthz wire contract the mergerouter
+// tier routes on: the document must decode back into Health with the
+// role, pool shape and overload signals (backlog, drain rate,
+// Retry-After) populated.
+func TestHealthzRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 3, QueueDepth: 17})
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("decoding health: %v", err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("status = %q, want ok", h.Status)
+	}
+	if h.Role != "node" {
+		t.Fatalf("role = %q, want node", h.Role)
+	}
+	if h.Workers != 3 {
+		t.Fatalf("workers = %d, want 3", h.Workers)
+	}
+	if h.QueueCapacity != 17 {
+		t.Fatalf("queue_capacity = %d, want 17", h.QueueCapacity)
+	}
+	if h.QueueDepth < 0 || h.QueueDepth > 17 {
+		t.Fatalf("queue_depth = %d out of range", h.QueueDepth)
+	}
+	if h.Draining {
+		t.Fatal("fresh server reports draining")
+	}
+	if h.Overload == nil {
+		t.Fatal("overload snapshot missing — the router cannot do least-loaded routing without it")
+	}
+	if h.Overload.State != "healthy" {
+		t.Fatalf("overload state = %q, want healthy", h.Overload.State)
+	}
+	if h.Overload.BacklogElements < 0 || h.Overload.DrainElemsPerSec < 0 {
+		t.Fatalf("negative load signals: backlog=%d drain=%f",
+			h.Overload.BacklogElements, h.Overload.DrainElemsPerSec)
+	}
+	if h.Overload.RetryAfterSeconds < 1 {
+		t.Fatalf("retry_after_s = %d, want >= 1", h.Overload.RetryAfterSeconds)
+	}
+}
+
+// TestHealthzDraining pins the draining document: 503, draining flag
+// set, status string "draining" — what the router's poller keys the
+// draining tier on.
+func TestHealthzDraining(t *testing.T) {
+	s := New(Config{})
+	ts := newRawServer(t, s)
+	go func() { _ = s.Drain(t.Context()) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for !s.draining.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("server never entered draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("decoding health: %v", err)
+	}
+	if h.Status != "draining" || !h.Draining {
+		t.Fatalf("draining health = %+v", h)
+	}
+}

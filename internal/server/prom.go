@@ -1,12 +1,9 @@
 package server
 
 import (
-	"fmt"
 	"net/http"
-	"strconv"
-	"strings"
 
-	"mergepath/internal/stats"
+	"mergepath/internal/promtext"
 )
 
 // Prometheus text exposition (format version 0.0.4) on GET
@@ -16,108 +13,42 @@ import (
 // convention: seconds — see stats.Millis for the unit policy). Latency
 // histograms are exported as summaries: {quantile=...} series plus
 // _sum and _count, which is what the fixed-bucket streaming histogram
-// supports without re-bucketing.
-
-// promContentType is the content type Prometheus scrapers expect for
-// the text exposition format.
-const promContentType = "text/plain; version=0.0.4; charset=utf-8"
-
-// promWriter accumulates one exposition document, emitting each
-// metric's # HELP / # TYPE header exactly once, on first use.
-type promWriter struct {
-	b      strings.Builder
-	headed map[string]bool
-}
-
-func newPromWriter() *promWriter {
-	return &promWriter{headed: make(map[string]bool)}
-}
-
-// head writes the HELP/TYPE preamble for name once.
-func (w *promWriter) head(name, typ, help string) {
-	if w.headed[name] {
-		return
-	}
-	w.headed[name] = true
-	fmt.Fprintf(&w.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
-}
-
-// sample emits one series: name{labels} value. labels may be "".
-func (w *promWriter) sample(name, labels string, value float64) {
-	w.b.WriteString(name)
-	if labels != "" {
-		w.b.WriteByte('{')
-		w.b.WriteString(labels)
-		w.b.WriteByte('}')
-	}
-	w.b.WriteByte(' ')
-	w.b.WriteString(strconv.FormatFloat(value, 'g', -1, 64))
-	w.b.WriteByte('\n')
-}
-
-// counter emits a labelled counter sample with its preamble.
-func (w *promWriter) counter(name, labels, help string, value float64) {
-	w.head(name, "counter", help)
-	w.sample(name, labels, value)
-}
-
-// gauge emits a labelled gauge sample with its preamble.
-func (w *promWriter) gauge(name, labels, help string, value float64) {
-	w.head(name, "gauge", help)
-	w.sample(name, labels, value)
-}
-
-// secs converts a wire-format millisecond value to seconds.
-func secs(ms float64) float64 { return ms / 1e3 }
-
-// writeLatencySummary emits one latency histogram snapshot as a
-// Prometheus summary in seconds: p50/p95/p99 quantile series plus _sum
-// and _count.
-func writeLatencySummary(w *promWriter, name, labels, help string, h stats.HistogramSnapshot) {
-	w.head(name, "summary", help)
-	sep := ""
-	if labels != "" {
-		sep = ","
-	}
-	w.sample(name, labels+sep+`quantile="0.5"`, secs(h.P50MS))
-	w.sample(name, labels+sep+`quantile="0.95"`, secs(h.P95MS))
-	w.sample(name, labels+sep+`quantile="0.99"`, secs(h.P99MS))
-	w.sample(name+"_sum", labels, secs(h.SumMS))
-	w.sample(name+"_count", labels, float64(h.Count))
-}
+// supports without re-bucketing. The writer itself lives in
+// internal/promtext, shared with mergerouter's exposition.
 
 // renderProm renders the full exposition document for a snapshot.
 func renderProm(snap MetricsSnapshot) string {
-	w := newPromWriter()
+	w := promtext.NewWriter()
+	secs := promtext.Secs
 
-	w.gauge("mergepathd_uptime_seconds", "", "Seconds since the server started.", snap.UptimeSeconds)
+	w.Gauge("mergepathd_uptime_seconds", "", "Seconds since the server started.", snap.UptimeSeconds)
 
 	// Queue / admission control.
-	w.gauge("mergepathd_queue_depth", "", "Jobs currently in the admission queue.", float64(snap.Queue.Depth))
-	w.gauge("mergepathd_queue_capacity", "", "Admission queue capacity; a full queue sheds with 503.", float64(snap.Queue.Capacity))
-	w.counter("mergepathd_queue_shed_total", "", "Requests shed with 503 because the admission queue was full.", float64(snap.Queue.Shed))
-	w.counter("mergepathd_throttled_total", "", "Requests shed with 429 by the adaptive overload controller.", float64(snap.Queue.Throttled))
-	w.counter("mergepathd_request_timeouts_total", "", "Requests whose deadline expired before completion (504).", float64(snap.Queue.Timeouts))
-	w.counter("mergepathd_requests_canceled_total", "", "Requests abandoned by their client before completion (499).", float64(snap.Queue.Canceled))
-	w.counter("mergepathd_shed_at_flush_total", "", "Coalesced pairs dropped expired or canceled at batch-flush time.", float64(snap.Queue.ShedAtFlush))
+	w.Gauge("mergepathd_queue_depth", "", "Jobs currently in the admission queue.", float64(snap.Queue.Depth))
+	w.Gauge("mergepathd_queue_capacity", "", "Admission queue capacity; a full queue sheds with 503.", float64(snap.Queue.Capacity))
+	w.Counter("mergepathd_queue_shed_total", "", "Requests shed with 503 because the admission queue was full.", float64(snap.Queue.Shed))
+	w.Counter("mergepathd_throttled_total", "", "Requests shed with 429 by the adaptive overload controller.", float64(snap.Queue.Throttled))
+	w.Counter("mergepathd_request_timeouts_total", "", "Requests whose deadline expired before completion (504).", float64(snap.Queue.Timeouts))
+	w.Counter("mergepathd_requests_canceled_total", "", "Requests abandoned by their client before completion (499).", float64(snap.Queue.Canceled))
+	w.Counter("mergepathd_shed_at_flush_total", "", "Coalesced pairs dropped expired or canceled at batch-flush time.", float64(snap.Queue.ShedAtFlush))
 
 	// Pool / rounds.
-	w.gauge("mergepathd_pool_workers", "", "Fixed worker pool size; every round engages all workers.", float64(snap.Pool.Workers))
-	w.gauge("mergepathd_pool_utilization", "", "Fraction of uptime the pool spent executing rounds.", snap.Pool.Utilization)
-	w.counter("mergepathd_pool_busy_seconds_total", "", "Total seconds the pool spent executing rounds.", snap.Pool.BusySeconds)
-	w.counter("mergepathd_batch_rounds_total", "", "Coalesced (multi-request) batch rounds executed.", float64(snap.Pool.BatchRounds))
-	w.counter("mergepathd_batch_pairs_total", "", "Small merge requests coalesced into batch rounds.", float64(snap.Pool.BatchPairs))
-	w.counter("mergepathd_batch_elements_total", "", "Output elements produced by coalesced batch rounds.", float64(snap.Pool.BatchElems))
-	w.counter("mergepathd_run_rounds_total", "", "Uncoalesced whole-pool rounds (large merges) with load stats.", float64(snap.Pool.RunRounds))
-	w.counter("mergepathd_panics_recovered_total", "", "Request-induced panics recovered inside rounds (per-job 500s).", float64(snap.Pool.PanicsRecovered))
+	w.Gauge("mergepathd_pool_workers", "", "Fixed worker pool size; every round engages all workers.", float64(snap.Pool.Workers))
+	w.Gauge("mergepathd_pool_utilization", "", "Fraction of uptime the pool spent executing rounds.", snap.Pool.Utilization)
+	w.Counter("mergepathd_pool_busy_seconds_total", "", "Total seconds the pool spent executing rounds.", snap.Pool.BusySeconds)
+	w.Counter("mergepathd_batch_rounds_total", "", "Coalesced (multi-request) batch rounds executed.", float64(snap.Pool.BatchRounds))
+	w.Counter("mergepathd_batch_pairs_total", "", "Small merge requests coalesced into batch rounds.", float64(snap.Pool.BatchPairs))
+	w.Counter("mergepathd_batch_elements_total", "", "Output elements produced by coalesced batch rounds.", float64(snap.Pool.BatchElems))
+	w.Counter("mergepathd_run_rounds_total", "", "Uncoalesced whole-pool rounds (large merges) with load stats.", float64(snap.Pool.RunRounds))
+	w.Counter("mergepathd_panics_recovered_total", "", "Request-induced panics recovered inside rounds (per-job 500s).", float64(snap.Pool.PanicsRecovered))
 
 	// Load balance: the paper's Theorem 5 check. 1.0 = perfect.
-	w.gauge("mergepathd_round_imbalance", "", "Max/min elements per worker of the latest balanced round (Theorem 5 predicts ~1.0).", snap.Pool.LastRound.Imbalance)
-	w.gauge("mergepathd_round_imbalance_max", "", "Worst per-round load-imbalance ratio since start.", snap.Pool.ImbalanceMax)
-	w.gauge("mergepathd_round_imbalance_mean", "", "Mean per-round load-imbalance ratio since start.", snap.Pool.ImbalanceMean)
-	w.gauge("mergepathd_round_workers", "", "Workers engaged by the latest balanced round.", float64(snap.Pool.LastRound.Workers))
-	w.gauge("mergepathd_round_min_elements", "", "Fewest elements any worker merged in the latest balanced round.", float64(snap.Pool.LastRound.Min))
-	w.gauge("mergepathd_round_max_elements", "", "Most elements any worker merged in the latest balanced round.", float64(snap.Pool.LastRound.Max))
+	w.Gauge("mergepathd_round_imbalance", "", "Max/min elements per worker of the latest balanced round (Theorem 5 predicts ~1.0).", snap.Pool.LastRound.Imbalance)
+	w.Gauge("mergepathd_round_imbalance_max", "", "Worst per-round load-imbalance ratio since start.", snap.Pool.ImbalanceMax)
+	w.Gauge("mergepathd_round_imbalance_mean", "", "Mean per-round load-imbalance ratio since start.", snap.Pool.ImbalanceMean)
+	w.Gauge("mergepathd_round_workers", "", "Workers engaged by the latest balanced round.", float64(snap.Pool.LastRound.Workers))
+	w.Gauge("mergepathd_round_min_elements", "", "Fewest elements any worker merged in the latest balanced round.", float64(snap.Pool.LastRound.Min))
+	w.Gauge("mergepathd_round_max_elements", "", "Most elements any worker merged in the latest balanced round.", float64(snap.Pool.LastRound.Max))
 
 	// Overload controller: state machine (one-hot by state plus the raw
 	// code), congestion signal, and the computed Retry-After.
@@ -127,28 +58,28 @@ func renderProm(snap MetricsSnapshot) string {
 		if ov.State == st {
 			v = 1
 		}
-		w.gauge("mergepathd_overload_state", `state="`+st+`"`,
+		w.Gauge("mergepathd_overload_state", `state="`+st+`"`,
 			"Overload state machine, one-hot: 1 on the series matching the current state.", v)
 	}
-	w.gauge("mergepathd_overload_state_code", "", "Overload state as a number: 0 healthy, 1 degraded, 2 shedding.", float64(ov.StateCode))
-	w.gauge("mergepathd_overload_target_seconds", "", "CoDel queue-sojourn target.", secs(ov.TargetMS))
-	w.gauge("mergepathd_overload_sojourn_min_seconds", "", "Minimum queue sojourn of the last completed interval with traffic (the congestion signal).", secs(ov.SojournMinMS))
-	w.gauge("mergepathd_overload_backlog_elements", "", "Elements admitted but not yet finished.", float64(ov.BacklogElements))
-	w.gauge("mergepathd_overload_drain_elements_per_second", "", "EWMA element throughput of completed rounds.", ov.DrainElemsPerSec)
-	w.gauge("mergepathd_overload_retry_after_seconds", "", "Computed Retry-After currently quoted on 429/503 responses.", float64(ov.RetryAfterSeconds))
-	w.counter("mergepathd_overload_shed_total", "", "Admissions refused by the overload controller while shedding.", float64(ov.ShedTotal))
-	w.counter("mergepathd_overload_transitions_total", `to="degraded"`, "Overload state transitions, by destination state.", float64(ov.TransitionsDegraded))
-	w.counter("mergepathd_overload_transitions_total", `to="shedding"`, "Overload state transitions, by destination state.", float64(ov.TransitionsShedding))
-	w.counter("mergepathd_overload_transitions_total", `to="healthy"`, "Overload state transitions, by destination state.", float64(ov.TransitionsHealthy))
+	w.Gauge("mergepathd_overload_state_code", "", "Overload state as a number: 0 healthy, 1 degraded, 2 shedding.", float64(ov.StateCode))
+	w.Gauge("mergepathd_overload_target_seconds", "", "CoDel queue-sojourn target.", secs(ov.TargetMS))
+	w.Gauge("mergepathd_overload_sojourn_min_seconds", "", "Minimum queue sojourn of the last completed interval with traffic (the congestion signal).", secs(ov.SojournMinMS))
+	w.Gauge("mergepathd_overload_backlog_elements", "", "Elements admitted but not yet finished.", float64(ov.BacklogElements))
+	w.Gauge("mergepathd_overload_drain_elements_per_second", "", "EWMA element throughput of completed rounds.", ov.DrainElemsPerSec)
+	w.Gauge("mergepathd_overload_retry_after_seconds", "", "Computed Retry-After currently quoted on 429/503 responses.", float64(ov.RetryAfterSeconds))
+	w.Counter("mergepathd_overload_shed_total", "", "Admissions refused by the overload controller while shedding.", float64(ov.ShedTotal))
+	w.Counter("mergepathd_overload_transitions_total", `to="degraded"`, "Overload state transitions, by destination state.", float64(ov.TransitionsDegraded))
+	w.Counter("mergepathd_overload_transitions_total", `to="shedding"`, "Overload state transitions, by destination state.", float64(ov.TransitionsShedding))
+	w.Counter("mergepathd_overload_transitions_total", `to="healthy"`, "Overload state transitions, by destination state.", float64(ov.TransitionsHealthy))
 
 	// Per-endpoint request counters and latency summaries.
 	for _, name := range sortedKeys(snap.Endpoints) {
 		e := snap.Endpoints[name]
 		lbl := `endpoint="` + name + `"`
-		w.counter("mergepathd_requests_total", lbl, "Requests finished, by endpoint (all statuses).", float64(e.Count))
-		w.counter("mergepathd_request_errors_total", lbl+`,class="4xx"`, "Error responses, by endpoint and status class.", float64(e.Err4xx))
-		w.counter("mergepathd_request_errors_total", lbl+`,class="5xx"`, "Error responses, by endpoint and status class.", float64(e.Err5xx))
-		writeLatencySummary(w, "mergepathd_request_latency_seconds", lbl,
+		w.Counter("mergepathd_requests_total", lbl, "Requests finished, by endpoint (all statuses).", float64(e.Count))
+		w.Counter("mergepathd_request_errors_total", lbl+`,class="4xx"`, "Error responses, by endpoint and status class.", float64(e.Err4xx))
+		w.Counter("mergepathd_request_errors_total", lbl+`,class="5xx"`, "Error responses, by endpoint and status class.", float64(e.Err5xx))
+		w.LatencySummary("mergepathd_request_latency_seconds", lbl,
 			"Latency of successful requests, by endpoint.", e.Latency)
 	}
 
@@ -158,13 +89,13 @@ func renderProm(snap MetricsSnapshot) string {
 		if !ok {
 			continue
 		}
-		writeLatencySummary(w, "mergepathd_stage_latency_seconds", `stage="`+name+`"`,
+		w.LatencySummary("mergepathd_stage_latency_seconds", `stage="`+name+`"`,
 			"Per-request lifecycle stage timings (partition/merge are cumulative worker time, the rest wall time).", h)
 	}
-	return w.b.String()
+	return w.String()
 }
 
 func (s *Server) handleMetricsProm(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", promContentType)
+	w.Header().Set("Content-Type", promtext.ContentType)
 	_, _ = w.Write([]byte(renderProm(s.m.snapshot(s.pool))))
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"mergepath/internal/overload"
+	"mergepath/internal/promtext"
 )
 
 // Prometheus text exposition format 0.0.4 line grammar, as accepted by
@@ -38,8 +39,8 @@ func scrapeProm(t *testing.T, ts *httptest.Server) map[string]float64 {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("GET /metrics/prom: status %d", resp.StatusCode)
 	}
-	if ct := resp.Header.Get("Content-Type"); ct != promContentType {
-		t.Fatalf("content type %q, want %q", ct, promContentType)
+	if ct := resp.Header.Get("Content-Type"); ct != promtext.ContentType {
+		t.Fatalf("content type %q, want %q", ct, promtext.ContentType)
 	}
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {

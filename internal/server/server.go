@@ -501,31 +501,6 @@ func (s *Server) handleSelect(r *http.Request) (int, any) {
 	return http.StatusOK, resp
 }
 
-// handleHealthz reports liveness plus the overload state machine.
-// Draining is the only 503: degraded and shedding still answer 200 —
-// the process is healthy, it is the offered load that isn't — with the
-// state in the body so orchestrators can route on it without killing
-// the instance. The same controller snapshot feeds /metrics and
-// /metrics/prom, so all three surfaces always agree.
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	if s.draining.Load() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		_ = json.NewEncoder(w).Encode(map[string]string{"status": "draining"})
-		return
-	}
-	ov := s.ctrl.SnapshotNow()
-	status := "ok"
-	if ov.State != overload.Healthy.String() {
-		status = ov.State
-	}
-	_ = json.NewEncoder(w).Encode(map[string]any{
-		"status":   status,
-		"workers":  s.cfg.Workers,
-		"overload": ov,
-	})
-}
-
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

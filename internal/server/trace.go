@@ -87,6 +87,12 @@ func newTrace(id string, start time.Time) *Trace {
 	return &Trace{id: id, start: start}
 }
 
+// NewTrace starts a trace for a request with the given ID that arrived
+// at start. Exported for mergerouter, which records its own lifecycle
+// stages (route/forward/scatter/gather) with the same span machinery
+// and Server-Timing exposition as the node daemon.
+func NewTrace(id string, start time.Time) *Trace { return newTrace(id, start) }
+
 // ID returns the request ID ("" on a nil trace).
 func (t *Trace) ID() string {
 	if t == nil {
@@ -121,6 +127,26 @@ func (t *Trace) Spans() []Span {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return append([]Span(nil), t.spans...)
+}
+
+// Add records a span for stage that began at begin and lasted d — the
+// exported form of add, used by mergerouter to stamp stages whose
+// duration was measured elsewhere (e.g. cumulative scatter wall time).
+func (t *Trace) Add(stage string, begin time.Time, d time.Duration) { t.add(stage, begin, d) }
+
+// Span records a stage that began at begin and ends now (exported for
+// mergerouter).
+func (t *Trace) Span(stage string, begin time.Time) { t.span(stage, begin) }
+
+// ServerTiming renders the spans recorded so far as a Server-Timing
+// header value — the exported form of serverTiming, used by
+// mergerouter to emit the same header format as the node daemon.
+func (t *Trace) ServerTiming() string { return t.serverTiming() }
+
+// LogLine renders one structured (logfmt-style key=value) access-log
+// line for a finished request (exported for mergerouter's -access-log).
+func (t *Trace) LogLine(endpoint string, status int, total time.Duration) string {
+	return t.logLine(endpoint, status, total)
 }
 
 // serverTiming renders the spans recorded so far as a Server-Timing
@@ -176,6 +202,12 @@ var (
 func nextRequestID() string {
 	return reqPrefix + "-" + strconv.FormatUint(reqSeq.Add(1), 10)
 }
+
+// NextRequestID mints a fresh request ID (process-random prefix plus a
+// monotonic sequence number). Exported so mergerouter assigns IDs from
+// the same generator scheme and sub-requests stay correlatable in
+// backend logs.
+func NextRequestID() string { return nextRequestID() }
 
 // traceKey carries the request's *Trace through its context.
 type traceKey struct{}

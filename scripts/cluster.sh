@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Multi-process cluster soak: three mergepathd backends (one injecting
+# errors into a large fraction of its merge rounds), one mergerouter in
+# front, mergeload driving the router. Passes when the fault stayed
+# local: the load run finishes with a high success rate, the router's
+# /healthz still reports ok, and the router's metrics show reroutes
+# (traffic diverted around the faulted node) with errors concentrated
+# on it.
+#
+# Knobs (environment):
+#   PORT_BASE   first backend port (default 18080; router on PORT_BASE+10)
+#   DURATION    measured mergeload run length (default 5s)
+#   FAULT_SPEC  fault injected into backend 3 (default merge:error=0.5)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT_BASE="${PORT_BASE:-18080}"
+DURATION="${DURATION:-5s}"
+FAULT_SPEC="${FAULT_SPEC:-merge:error=0.5}"
+ROUTER_PORT=$((PORT_BASE + 10))
+BIN=$(mktemp -d)
+LOGS=$(mktemp -d)
+PIDS=()
+
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    for pid in "${PIDS[@]:-}"; do
+        wait "$pid" 2>/dev/null || true
+    done
+    rm -rf "$BIN"
+    echo "cluster: logs kept in $LOGS"
+}
+trap cleanup EXIT
+
+echo "cluster: building binaries"
+go build -o "$BIN/mergepathd" ./cmd/mergepathd
+go build -o "$BIN/mergerouter" ./cmd/mergerouter
+go build -o "$BIN/mergeload" ./cmd/mergeload
+
+BACKENDS=""
+for i in 0 1 2; do
+    port=$((PORT_BASE + i))
+    args=(-addr "127.0.0.1:$port" -workers 2)
+    if [ "$i" = 2 ]; then
+        args+=(-fault "$FAULT_SPEC")
+        echo "cluster: backend $i on :$port (FAULTED: $FAULT_SPEC)"
+    else
+        echo "cluster: backend $i on :$port"
+    fi
+    "$BIN/mergepathd" "${args[@]}" >"$LOGS/backend$i.log" 2>&1 &
+    PIDS+=($!)
+    BACKENDS="$BACKENDS${BACKENDS:+,}http://127.0.0.1:$port"
+done
+
+"$BIN/mergerouter" -addr "127.0.0.1:$ROUTER_PORT" -backends "$BACKENDS" \
+    -scatter-threshold 4096 -health-interval 100ms \
+    >"$LOGS/router.log" 2>&1 &
+PIDS+=($!)
+echo "cluster: router on :$ROUTER_PORT -> $BACKENDS"
+
+# Wait for the router to answer (it polls backends synchronously at
+# startup, so "router up" implies "fleet view populated").
+for _ in $(seq 1 50); do
+    if curl -fsS "http://127.0.0.1:$ROUTER_PORT/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.1
+done
+health=$(curl -fsS "http://127.0.0.1:$ROUTER_PORT/healthz")
+echo "cluster: router healthz: $health"
+case "$health" in
+*'"role":"router"'*) ;;
+*) echo "cluster: FAIL router healthz did not report role=router" >&2; exit 1 ;;
+esac
+
+echo "cluster: driving load for $DURATION"
+"$BIN/mergeload" -url "http://127.0.0.1:$ROUTER_PORT" \
+    -duration "$DURATION" -warmup 1s -conc 16 -size 2048 -dist skew \
+    | tee "$LOGS/mergeload.log"
+
+# The run must have succeeded mostly (mergeload errors line) and the
+# router must still be healthy with reroutes recorded.
+if ! grep -q 'target: router' "$LOGS/mergeload.log"; then
+    echo "cluster: FAIL mergeload did not detect the router target" >&2
+    exit 1
+fi
+errline=$(grep -o 'errors=[0-9]*' "$LOGS/mergeload.log" | head -1)
+okline=$(grep -E '^ *TOTAL' "$LOGS/mergeload.log" | awk '{print $2}')
+errs="${errline#errors=}"
+ok="${okline:-0}"
+echo "cluster: ok=$ok errors=$errs"
+if [ "$ok" -eq 0 ]; then
+    echo "cluster: FAIL no request succeeded through the router" >&2
+    exit 1
+fi
+# Bounded error rate: errors must stay under 5% of successes.
+if [ "$errs" -gt $((ok / 20)) ]; then
+    echo "cluster: FAIL error rate too high (errors=$errs ok=$ok) — fault did not stay local" >&2
+    exit 1
+fi
+
+metrics=$(curl -fsS "http://127.0.0.1:$ROUTER_PORT/metrics")
+rerouted=$(printf '%s' "$metrics" | grep -o '"rerouted": *[0-9]*' | grep -o '[0-9]*')
+echo "cluster: router rerouted=$rerouted"
+if [ "${rerouted:-0}" -eq 0 ]; then
+    echo "cluster: FAIL router never rerouted despite a faulted backend" >&2
+    exit 1
+fi
+
+health=$(curl -fsS "http://127.0.0.1:$ROUTER_PORT/healthz")
+case "$health" in
+*'"status":"ok"'*) ;;
+*) echo "cluster: FAIL router unhealthy after soak: $health" >&2; exit 1 ;;
+esac
+
+echo "cluster: PASS — fault stayed local; router healthy, traffic rerouted"

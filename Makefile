@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify cover bench experiments fmt serve loadtest chaos soak lint-docs cluster cluster-quick
+.PHONY: all build vet test race verify cover bench experiments fmt serve loadtest chaos soak lint-docs cluster cluster-quick jobs-soak jobs-soak-quick
 
 all: build vet test
 
@@ -19,7 +19,8 @@ race: vet
 	$(GO) test -race ./internal/core ./internal/psort ./internal/spm \
 		./internal/kway ./internal/setops ./internal/sched ./internal/baseline \
 		./internal/server ./internal/batch ./internal/stats ./internal/fault \
-		./internal/overload ./internal/resilience ./internal/router
+		./internal/overload ./internal/resilience ./internal/router \
+		./internal/jobs ./internal/extsort
 
 # Godoc audit: every exported identifier in the service-facing packages
 # must carry a doc comment (see cmd/lintdocs). Fails listing each gap.
@@ -27,15 +28,18 @@ lint-docs:
 	$(GO) run ./cmd/lintdocs ./internal/server ./internal/core \
 		./internal/batch ./internal/stats ./internal/overload \
 		./internal/resilience ./internal/router ./internal/promtext \
+		./internal/jobs ./internal/extsort \
 		./cmd/mergerouter
 
 # Full pre-merge gate: build, vet, unit tests, godoc audit, race suite
 # (which includes the fault-injection lifecycle tests in internal/server
 # and internal/fault), a chaos pass against a live in-process daemon,
-# and the in-process cluster soak (3 backends + router, one backend
-# faulted, under -race). The longer overload/breaker soak is its own
-# target (`make soak`); the multi-process cluster is `make cluster`.
-verify: build vet test lint-docs race chaos cluster-quick
+# the in-process cluster soak (3 backends + router, one backend
+# faulted, under -race), and the quick jobs soak (concurrent submits +
+# cancels + GC under fault injection, -race). The longer overload/breaker
+# soak is its own target (`make soak`); the multi-process cluster is
+# `make cluster`; the extended jobs soak is `make jobs-soak`.
+verify: build vet test lint-docs race chaos cluster-quick jobs-soak-quick
 
 cover:
 	$(GO) test -cover ./...
@@ -86,6 +90,17 @@ cluster-quick:
 # scripts/cluster.sh for knobs (PORT_BASE, DURATION, FAULT_SPEC).
 cluster:
 	./scripts/cluster.sh
+
+# Jobs subsystem soak under -race: concurrent sortfile submits, cancels
+# and TTL GC sweeps against one manager with fault injection (errors,
+# panics, latency), asserting no leaked goroutines or spill files and
+# balanced overload accounting. The quick variant runs inside `make
+# verify`; the long one multiplies the iteration count via the env knob.
+jobs-soak-quick:
+	$(GO) test -race -run TestJobsSoak -count=1 ./internal/jobs
+
+jobs-soak:
+	MERGEPATH_JOBS_SOAK=1 $(GO) test -race -run TestJobsSoak -v -count=1 -timeout 10m ./internal/jobs
 
 # Overload/resilience soak: 60 seconds of injected latency under -race.
 # Drives the full control loop — healthy -> degraded -> shedding with

@@ -45,6 +45,7 @@ import (
 
 	"mergepath/internal/fault"
 	"mergepath/internal/harness"
+	"mergepath/internal/jobs"
 	"mergepath/internal/overload"
 	"mergepath/internal/resilience"
 	"mergepath/internal/server"
@@ -74,6 +75,11 @@ type options struct {
 	retries    int
 	hedgeAfter time.Duration
 	budgetRate float64
+
+	jobsMode    bool
+	jobsRecords int
+	jobsCount   int
+	jobsMemory  int
 }
 
 // defaultChaosSpec is the -chaos fault mix: enough panics and errors to
@@ -111,6 +117,10 @@ func main() {
 	flag.IntVar(&o.retries, "retries", 2, "resilient: max retries per request")
 	flag.DurationVar(&o.hedgeAfter, "hedge-after", 0, "resilient: duplicate a request if no response after this long (0 = off)")
 	flag.Float64Var(&o.budgetRate, "retry-budget", 50, "resilient: retry token refill rate per second")
+	flag.BoolVar(&o.jobsMode, "jobs", false, "drive the async dataset/jobs API instead of the request endpoints: upload, submit sortfile jobs, poll, stream + verify results")
+	flag.IntVar(&o.jobsRecords, "jobs-records", 1<<18, "jobs mode: dataset size in 8-byte records")
+	flag.IntVar(&o.jobsCount, "jobs-count", 4, "jobs mode: sortfile jobs to run against the dataset")
+	flag.IntVar(&o.jobsMemory, "jobs-memory", 1<<14, "jobs mode, self-serve: per-job memory budget in records (keep it well under -jobs-records to force external merge passes)")
 	flag.Parse()
 
 	if o.chaos && o.url != "" {
@@ -127,6 +137,11 @@ func main() {
 				Target:   o.overloadTarget,
 				Interval: o.overloadInterval,
 			},
+			Jobs: jobs.Config{
+				MemoryRecords: o.jobsMemory,
+				MaxConcurrent: 2,
+				MaxQueued:     16,
+			},
 		}
 		if o.chaos {
 			inj, err := fault.Parse(o.chaosSpec, o.seed)
@@ -139,6 +154,13 @@ func main() {
 		srv = server.New(cfg)
 		ts := httptest.NewServer(srv)
 		defer ts.Close()
+		// Drain the server too (not just the listener) so the jobs
+		// manager's private spill dir is removed, whatever path exits.
+		defer func() {
+			dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Drain(dctx)
+		}()
 		base = ts.URL
 		fmt.Printf("self-serving on %s (workers=%d queue=%d)\n", base, srv.Workers(), o.queue)
 	}
@@ -159,6 +181,14 @@ func main() {
 
 	target := detectTarget(base, client)
 	fmt.Printf("target: %s at %s\n", target, base)
+
+	if o.jobsMode {
+		jb := runJobsBench(base, client, o)
+		if o.jsonPath != "" {
+			writeJobsJSON(o, jb, base, client, target)
+		}
+		return
+	}
 
 	run(base, client, rclient, reqs, o.warmup, o, nil) // warmup, result discarded
 	timeline := newStateTimeline()
@@ -750,6 +780,9 @@ type benchDoc struct {
 	// observed over the measured run (polled from /healthz).
 	OverloadTimeline []stateChange   `json:"overload_timeline,omitempty"`
 	ServerMetrics    json.RawMessage `json:"server_metrics,omitempty"`
+	// Jobs is the -jobs mode section: out-of-core sortfile jobs with
+	// per-phase timings (queue wait, copy-in, run formation, merge).
+	Jobs *jobsBenchDoc `json:"jobs,omitempty"`
 }
 
 func writeJSON(o options, res *result, base string, client *http.Client, snap *server.MetricsSnapshot, rclient *resilience.Client, tl *stateTimeline, target string) {

@@ -4,8 +4,10 @@
 // batch rounds (see internal/server).
 //
 // Endpoints: POST /v1/merge /v1/sort /v1/mergek /v1/setops /v1/select;
-// GET /healthz /metrics /metrics/prom. See docs/METRICS.md for the full
-// metric reference and README.md for the operator runbook.
+// the out-of-core dataset/jobs API POST /v1/datasets, POST /v1/jobs,
+// GET/DELETE /v1/jobs/{id}, GET /v1/jobs/{id}/result; GET /healthz
+// /metrics /metrics/prom. See docs/METRICS.md for the full metric
+// reference and README.md for the operator runbook.
 //
 // Usage:
 //
@@ -14,6 +16,7 @@
 //	mergepathd -access-log                         # per-request span log
 //	mergepathd -fault 'sort:panic=0.05;*:latency=1ms@0.2'   # chaos mode
 //	mergepathd -overload-target 10ms -strict-input          # tuning + forensic 400s
+//	mergepathd -spill-dir /var/tmp/mp -job-memory 1048576   # out-of-core sort jobs
 //	curl -s localhost:8080/v1/merge -d '{"a":[1,3],"b":[2,4]}'
 //	curl -s localhost:8080/metrics/prom
 //
@@ -35,6 +38,7 @@ import (
 	"time"
 
 	"mergepath/internal/fault"
+	"mergepath/internal/jobs"
 	"mergepath/internal/overload"
 	"mergepath/internal/server"
 )
@@ -57,6 +61,13 @@ func main() {
 		overloadTarget   = flag.Duration("overload-target", 5*time.Millisecond, "CoDel queue-sojourn target; sustained waits above it degrade, then shed with 429")
 		overloadInterval = flag.Duration("overload-interval", 100*time.Millisecond, "overload evaluation interval (the window the minimum sojourn is tracked over)")
 		strictInput      = flag.Bool("strict-input", false, "sortedness 400s name the first violating index and values (forensic mode)")
+
+		spillDir       = flag.String("spill-dir", "", "spill directory for datasets and job files (empty = a private temp dir, removed on exit)")
+		jobMemory      = flag.Int("job-memory", 1<<20, "per-job in-memory budget in records: the external sort's M")
+		jobConcurrency = flag.Int("job-concurrency", 1, "max jobs executing at once")
+		jobQueue       = flag.Int("job-queue", 8, "max jobs waiting to run (full queue sheds with 503)")
+		jobTTL         = flag.Duration("job-ttl", 10*time.Minute, "TTL for finished job state/results and idle datasets")
+		jobFanIn       = flag.Int("job-fan-in", 0, "external-sort merge fan-in (0 = engine default)")
 	)
 	flag.Parse()
 
@@ -84,6 +95,14 @@ func main() {
 		StrictInput: *strictInput,
 		Fault:       inj,
 		AccessLog:   *accessLog,
+		Jobs: jobs.Config{
+			Dir:           *spillDir,
+			MemoryRecords: *jobMemory,
+			MaxConcurrent: *jobConcurrency,
+			MaxQueued:     *jobQueue,
+			TTL:           *jobTTL,
+			FanIn:         *jobFanIn,
+		},
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s}
 
@@ -111,7 +130,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("mergepathd listening on %s (workers=%d queue=%d)", *addr, s.Workers(), *queue)
+	log.Printf("mergepathd listening on %s (workers=%d queue=%d spill=%s job-memory=%d)",
+		*addr, s.Workers(), *queue, s.Jobs().Dir(), s.Jobs().MemoryRecords())
 
 	select {
 	case err := <-errc:

@@ -1,6 +1,7 @@
 package mergepath_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -86,9 +87,13 @@ func TestExternalSortAgainstInMemory(t *testing.T) {
 	inMem := append([]int32(nil), data...)
 	psort.Sort(inMem, 4)
 
-	dev := extsort.NewBlockDevice(len(data), 16)
+	dev := extsort.NewBlockDevice[int32](len(data), 16)
 	dev.Load(data)
-	extsort.Sort(dev, len(data), extsort.Config{MemoryRecords: 1 << 10, Workers: 4})
+	scratch := extsort.NewBlockDevice[int32](len(data), 16)
+	if _, err := extsort.Sort(context.Background(), dev, scratch, len(data),
+		extsort.Config{MemoryRecords: 1 << 10, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
 	if !verify.Equal(dev.Snapshot(len(data)), inMem) {
 		t.Fatal("external and in-memory sorts disagree")
 	}

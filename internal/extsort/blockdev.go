@@ -1,75 +1,102 @@
 // Package extsort implements external merge sort on top of the library's
 // parallel merge — the workload that motivates merge-based sorting in the
 // first place (the paper's §I "core of the merge-sort algorithm", and the
-// I/O-complexity setting of its reference [10], Aggarwal & Vitter). Since
-// no real disk is available (or desirable) in tests, data lives on a
-// simulated block device that counts block reads and writes, so the
-// classic external-sort I/O bound — 2N/B·(1 + ceil(log_{k}(N/M))) block
-// transfers for run formation plus merge passes — becomes a measurable,
-// testable quantity.
+// I/O-complexity setting of its reference [10], Aggarwal & Vitter). The
+// engine runs against a Device: a block-addressed record store with I/O
+// accounting. Two implementations ship — an in-memory BlockDevice that
+// makes the classic external-sort I/O bound (2N/B·(1 + passes) block
+// transfers) a measurable, testable quantity, and a FileDevice that backs
+// the records with a real file so datasets larger than RAM sort within a
+// fixed memory budget (the jobs subsystem's engine).
 package extsort
 
 import "fmt"
 
-// BlockDevice is a simulated block store of int32 records with I/O
-// accounting. Records are addressed by absolute record offset; every read
-// or write of a record range is charged in whole blocks.
-type BlockDevice struct {
+// Device is the block-store contract the external sort runs against:
+// records addressed by absolute record offset, every read or write of a
+// record range charged in whole blocks. Implementations report their
+// accumulated I/O via Stats; the sort engine sums device and scratch
+// counts into its own Stats. Read and Write return I/O errors (a real
+// file can fail); out-of-range accesses are programmer errors and may
+// panic instead.
+type Device[T any] interface {
+	// Capacity returns the device size in records.
+	Capacity() int
+	// BlockRecords returns the block size in records.
+	BlockRecords() int
+	// Read copies len(dst) records starting at record offset off into dst.
+	Read(off int, dst []T) error
+	// Write copies src to the device at record offset off.
+	Write(off int, src []T) error
+	// Stats reports accumulated block reads and writes.
+	Stats() (reads, writes uint64)
+}
+
+// BlockDevice is a simulated in-memory block store with I/O accounting.
+// Records are addressed by absolute record offset; every read or write of
+// a record range is charged in whole blocks. It is the test and
+// experiment substrate: no real disk, but the same I/O arithmetic.
+type BlockDevice[T any] struct {
 	blockRecords int
-	data         []int32
+	data         []T
 	reads        uint64 // block reads
 	writes       uint64 // block writes
 }
 
 // NewBlockDevice creates a device holding capacity records with the given
 // block size (records per block).
-func NewBlockDevice(capacity, blockRecords int) *BlockDevice {
+func NewBlockDevice[T any](capacity, blockRecords int) *BlockDevice[T] {
 	if blockRecords < 1 {
 		panic("extsort: block size must be positive")
 	}
 	if capacity < 0 {
 		panic("extsort: negative capacity")
 	}
-	return &BlockDevice{blockRecords: blockRecords, data: make([]int32, capacity)}
+	return &BlockDevice[T]{blockRecords: blockRecords, data: make([]T, capacity)}
 }
 
 // Capacity returns the device size in records.
-func (d *BlockDevice) Capacity() int { return len(d.data) }
+func (d *BlockDevice[T]) Capacity() int { return len(d.data) }
 
 // BlockRecords returns the block size in records.
-func (d *BlockDevice) BlockRecords() int { return d.blockRecords }
+func (d *BlockDevice[T]) BlockRecords() int { return d.blockRecords }
 
 // blocksSpanned counts the blocks a record range [off, off+n) touches.
-func (d *BlockDevice) blocksSpanned(off, n int) uint64 {
+func blocksSpanned(blockRecords, off, n int) uint64 {
 	if n <= 0 {
 		return 0
 	}
-	first := off / d.blockRecords
-	last := (off + n - 1) / d.blockRecords
+	first := off / blockRecords
+	last := (off + n - 1) / blockRecords
 	return uint64(last - first + 1)
 }
 
 // Read copies n records starting at offset off into dst, charging block
-// reads.
-func (d *BlockDevice) Read(off int, dst []int32) {
+// reads. Out-of-range reads panic (programmer error); the error return
+// exists for the Device contract and is always nil here.
+func (d *BlockDevice[T]) Read(off int, dst []T) error {
 	if off < 0 || off+len(dst) > len(d.data) {
 		panic(fmt.Sprintf("extsort: read [%d,%d) outside device of %d records", off, off+len(dst), len(d.data)))
 	}
 	copy(dst, d.data[off:off+len(dst)])
-	d.reads += d.blocksSpanned(off, len(dst))
+	d.reads += blocksSpanned(d.blockRecords, off, len(dst))
+	return nil
 }
 
 // Write copies src to the device at offset off, charging block writes.
-func (d *BlockDevice) Write(off int, src []int32) {
+// Out-of-range writes panic (programmer error); the error return exists
+// for the Device contract and is always nil here.
+func (d *BlockDevice[T]) Write(off int, src []T) error {
 	if off < 0 || off+len(src) > len(d.data) {
 		panic(fmt.Sprintf("extsort: write [%d,%d) outside device of %d records", off, off+len(src), len(d.data)))
 	}
 	copy(d.data[off:off+len(src)], src)
-	d.writes += d.blocksSpanned(off, len(src))
+	d.writes += blocksSpanned(d.blockRecords, off, len(src))
+	return nil
 }
 
 // Load initializes device contents without charging I/O (test setup).
-func (d *BlockDevice) Load(records []int32) {
+func (d *BlockDevice[T]) Load(records []T) {
 	if len(records) > len(d.data) {
 		panic("extsort: load exceeds capacity")
 	}
@@ -78,12 +105,12 @@ func (d *BlockDevice) Load(records []int32) {
 
 // Snapshot returns a copy of the first n records without charging I/O
 // (test inspection).
-func (d *BlockDevice) Snapshot(n int) []int32 {
-	return append([]int32(nil), d.data[:n]...)
+func (d *BlockDevice[T]) Snapshot(n int) []T {
+	return append([]T(nil), d.data[:n]...)
 }
 
 // Stats reports accumulated block I/O counts.
-func (d *BlockDevice) Stats() (reads, writes uint64) { return d.reads, d.writes }
+func (d *BlockDevice[T]) Stats() (reads, writes uint64) { return d.reads, d.writes }
 
 // ResetStats zeroes the I/O counters.
-func (d *BlockDevice) ResetStats() { d.reads, d.writes = 0, 0 }
+func (d *BlockDevice[T]) ResetStats() { d.reads, d.writes = 0, 0 }

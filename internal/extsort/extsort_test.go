@@ -1,17 +1,36 @@
 package extsort
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
+	"path/filepath"
+	"strings"
 	"testing"
 	"testing/quick"
 
+	"mergepath/internal/psort"
 	"mergepath/internal/verify"
 	"mergepath/internal/workload"
 )
 
+var bg = context.Background()
+
+// sortMem runs Sort on an in-memory device pair, failing the test on any
+// error — the common setup of the accounting tests.
+func sortMem(t *testing.T, dev *BlockDevice[int32], n int, cfg Config) Stats {
+	t.Helper()
+	scratch := NewBlockDevice[int32](n, dev.BlockRecords())
+	stats, err := Sort(bg, dev, scratch, n, cfg)
+	if err != nil {
+		t.Fatalf("Sort: %v", err)
+	}
+	return stats
+}
+
 func TestBlockDeviceBasics(t *testing.T) {
-	d := NewBlockDevice(64, 8)
+	d := NewBlockDevice[int32](64, 8)
 	if d.Capacity() != 64 || d.BlockRecords() != 8 {
 		t.Fatal("geometry wrong")
 	}
@@ -40,11 +59,11 @@ func TestBlockDeviceBasics(t *testing.T) {
 
 func TestBlockDevicePanics(t *testing.T) {
 	for name, f := range map[string]func(){
-		"read-oob":    func() { NewBlockDevice(4, 2).Read(2, make([]int32, 3)) },
-		"write-oob":   func() { NewBlockDevice(4, 2).Write(-1, make([]int32, 1)) },
-		"zero-block":  func() { NewBlockDevice(4, 0) },
-		"neg-cap":     func() { NewBlockDevice(-1, 2) },
-		"load-exceed": func() { NewBlockDevice(1, 1).Load(make([]int32, 2)) },
+		"read-oob":    func() { NewBlockDevice[int32](4, 2).Read(2, make([]int32, 3)) },
+		"write-oob":   func() { NewBlockDevice[int32](4, 2).Write(-1, make([]int32, 1)) },
+		"zero-block":  func() { NewBlockDevice[int32](4, 0) },
+		"neg-cap":     func() { NewBlockDevice[int32](-1, 2) },
+		"load-exceed": func() { NewBlockDevice[int32](1, 1).Load(make([]int32, 2)) },
 	} {
 		func() {
 			defer func() {
@@ -61,16 +80,17 @@ func TestSortCorrectness(t *testing.T) {
 	rng := rand.New(rand.NewSource(150))
 	for trial := 0; trial < 40; trial++ {
 		n := rng.Intn(5000)
-		m := 6 + rng.Intn(200)
+		m := MinMemoryRecords + rng.Intn(200)
 		block := 1 + rng.Intn(16)
 		p := 1 + rng.Intn(4)
+		fanIn := rng.Intn(10) // 0 = default
 		data := workload.Unsorted(rng, n)
-		dev := NewBlockDevice(n, block)
+		dev := NewBlockDevice[int32](n, block)
 		dev.Load(data)
-		stats := Sort(dev, n, Config{MemoryRecords: m, Workers: p})
+		stats := sortMem(t, dev, n, Config{MemoryRecords: m, Workers: p, FanIn: fanIn})
 		got := dev.Snapshot(n)
 		if !verify.Sorted(got) {
-			t.Fatalf("n=%d m=%d block=%d: not sorted", n, m, block)
+			t.Fatalf("n=%d m=%d block=%d fanin=%d: not sorted", n, m, block, fanIn)
 		}
 		if !verify.SameMultiset(got, data) {
 			t.Fatalf("n=%d m=%d: records lost", n, m)
@@ -78,65 +98,96 @@ func TestSortCorrectness(t *testing.T) {
 		if n > 0 && stats.Runs != (n+m-1)/m {
 			t.Fatalf("n=%d m=%d: %d runs, want %d", n, m, stats.Runs, (n+m-1)/m)
 		}
+		if stats.PeakBufferRecords > m {
+			t.Fatalf("n=%d m=%d fanin=%d: peak buffer %d exceeds budget %d",
+				n, m, fanIn, stats.PeakBufferRecords, m)
+		}
 	}
 }
 
 func TestSortEmptyAndTiny(t *testing.T) {
-	dev := NewBlockDevice(10, 4)
-	stats := Sort(dev, 0, Config{MemoryRecords: 6})
+	dev := NewBlockDevice[int32](10, 4)
+	stats, err := Sort(bg, dev, nil, 0, Config{MemoryRecords: MinMemoryRecords})
+	if err != nil {
+		t.Fatalf("empty sort: %v", err)
+	}
 	if stats.Runs != 0 || stats.BlockReads != 0 {
 		t.Fatalf("empty sort: %+v", stats)
 	}
 	dev.Load([]int32{3})
-	Sort(dev, 1, Config{MemoryRecords: 6})
+	// n <= memory needs no scratch device at all.
+	if _, err := Sort(bg, dev, nil, 1, Config{MemoryRecords: MinMemoryRecords}); err != nil {
+		t.Fatalf("single record: %v", err)
+	}
 	if dev.Snapshot(1)[0] != 3 {
 		t.Fatal("single record")
 	}
 }
 
-func TestSortPanics(t *testing.T) {
-	for name, f := range map[string]func(){
-		"range": func() { Sort(NewBlockDevice(4, 2), 5, Config{MemoryRecords: 6}) },
-		"mem":   func() { Sort(NewBlockDevice(4, 2), 4, Config{MemoryRecords: 5}) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s: expected panic", name)
-				}
-			}()
-			f()
-		}()
+func TestSortErrors(t *testing.T) {
+	dev := NewBlockDevice[int32](8, 2)
+	cases := map[string]error{
+		"nil-device": func() error {
+			_, err := Sort[int32](bg, nil, nil, 0, Config{MemoryRecords: 6})
+			return err
+		}(),
+		"range": func() error {
+			_, err := Sort(bg, dev, NewBlockDevice[int32](9, 2), 9, Config{MemoryRecords: 6})
+			return err
+		}(),
+		"mem": func() error {
+			_, err := Sort(bg, dev, NewBlockDevice[int32](8, 2), 8, Config{MemoryRecords: MinMemoryRecords - 1})
+			return err
+		}(),
+		"no-scratch": func() error {
+			_, err := Sort(bg, dev, nil, 8, Config{MemoryRecords: 6})
+			return err
+		}(),
+		"short-scratch": func() error {
+			_, err := Sort(bg, dev, NewBlockDevice[int32](4, 2), 8, Config{MemoryRecords: 6})
+			return err
+		}(),
+	}
+	for name, err := range cases {
+		if err == nil {
+			t.Errorf("%s: expected error", name)
+		}
 	}
 }
 
 func TestSortIOBound(t *testing.T) {
 	// The external merge sort bound: run formation reads+writes everything
-	// once; each of ceil(log2(ceil(N/M))) passes reads+writes everything
+	// once; each of ceil(log_F(ceil(N/M))) passes reads+writes everything
 	// once; plus the final copy-back when the pass count is odd, plus
-	// per-run block rounding slack.
+	// per-window block rounding slack.
 	rng := rand.New(rand.NewSource(151))
 	for trial := 0; trial < 20; trial++ {
 		n := 1000 + rng.Intn(20000)
 		m := 60 + rng.Intn(500)
 		block := 4 + rng.Intn(13)
 		data := workload.Unsorted(rng, n)
-		dev := NewBlockDevice(n, block)
+		dev := NewBlockDevice[int32](n, block)
 		dev.Load(data)
-		stats := Sort(dev, n, Config{MemoryRecords: m, Workers: 2})
+		stats := sortMem(t, dev, n, Config{MemoryRecords: m, Workers: 2})
 
 		runs := (n + m - 1) / m
 		passes := 0
-		for w := 1; w < runs; w <<= 1 {
+		for w := m; w < n; w *= stats.FanIn {
 			passes++
 		}
 		if stats.MergePasses != passes {
-			t.Fatalf("n=%d m=%d: %d passes, want %d", n, m, stats.MergePasses, passes)
+			t.Fatalf("n=%d m=%d fanin=%d: %d passes, want %d", n, m, stats.FanIn, stats.MergePasses, passes)
+		}
+		window := m / (3 * stats.FanIn)
+		if window < 1 {
+			window = 1
 		}
 		blocksN := uint64((n + block - 1) / block)
 		// Generous rounding slack: every buffered read/write can waste one
-		// block at each end, and there are ~n/(m/3) windows per pass.
-		slackPerPass := uint64(3*(n/(m/3)+2) + 2*runs)
+		// block at each end. Per pass there are at most n/window emit
+		// rounds, each with fanIn refills plus one write, plus per-run
+		// tails.
+		slackPerPass := uint64(2 * (stats.FanIn + 2) * (n/window + 2*runs + 2))
 		totalPasses := uint64(passes + 1 + 1) // formation + passes + possible copy-back
 		bound := 2 * totalPasses * (blocksN + slackPerPass)
 		if got := stats.BlockReads + stats.BlockWrites; got > bound {
@@ -147,14 +198,14 @@ func TestSortIOBound(t *testing.T) {
 }
 
 func TestSortIOScalesWithLogRuns(t *testing.T) {
-	// Doubling memory (halving runs) must not increase total I/O.
+	// Doubling memory (reducing runs) must not increase total I/O.
 	n := 1 << 15
 	data := workload.Unsorted(rand.New(rand.NewSource(152)), n)
 	var prev uint64 = math.MaxUint64
 	for _, m := range []int{1 << 8, 1 << 10, 1 << 12, 1 << 14} {
-		dev := NewBlockDevice(n, 16)
+		dev := NewBlockDevice[int32](n, 16)
 		dev.Load(data)
-		stats := Sort(dev, n, Config{MemoryRecords: m, Workers: 2})
+		stats := sortMem(t, dev, n, Config{MemoryRecords: m, Workers: 2})
 		total := stats.BlockReads + stats.BlockWrites
 		if total > prev {
 			t.Fatalf("m=%d: I/O %d grew from %d with more memory", m, total, prev)
@@ -169,13 +220,165 @@ func TestSortIOScalesWithLogRuns(t *testing.T) {
 func TestSortQuick(t *testing.T) {
 	f := func(raw []int32, mSeed uint8, blockSeed uint8) bool {
 		n := len(raw)
-		dev := NewBlockDevice(n, 1+int(blockSeed)%8)
+		dev := NewBlockDevice[int32](n, 1+int(blockSeed)%8)
 		dev.Load(raw)
-		Sort(dev, n, Config{MemoryRecords: 6 + int(mSeed), Workers: 1})
+		scratch := NewBlockDevice[int32](n, dev.BlockRecords())
+		if _, err := Sort(bg, dev, scratch, n, Config{MemoryRecords: MinMemoryRecords + int(mSeed), Workers: 1}); err != nil {
+			return false
+		}
 		got := dev.Snapshot(n)
 		return verify.Sorted(got) && verify.SameMultiset(got, raw)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// datasets for the differential tests: each returns n records.
+var differentialInputs = map[string]func(rng *rand.Rand, n int) []int64{
+	"random": func(rng *rand.Rand, n int) []int64 {
+		s := make([]int64, n)
+		for i := range s {
+			s[i] = rng.Int63n(1 << 40)
+		}
+		return s
+	},
+	"duplicate-heavy": func(rng *rand.Rand, n int) []int64 {
+		s := make([]int64, n)
+		for i := range s {
+			s[i] = rng.Int63n(16)
+		}
+		return s
+	},
+	"presorted": func(rng *rand.Rand, n int) []int64 {
+		s := make([]int64, n)
+		v := int64(0)
+		for i := range s {
+			v += rng.Int63n(4)
+			s[i] = v
+		}
+		return s
+	},
+}
+
+// TestSortDifferentialFileBacked external-sorts a file-backed dataset and
+// compares byte-for-byte against psort.Sort of the same data in RAM, at
+// sizes spanning 1x, 3x and 10x the memory budget, across input shapes.
+func TestSortDifferentialFileBacked(t *testing.T) {
+	const m = 2048
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(153))
+	for shape, gen := range differentialInputs {
+		for _, factor := range []int{1, 3, 10} {
+			n := factor * m
+			data := gen(rng, n)
+			want := append([]int64(nil), data...)
+			psort.Sort(want, 4)
+
+			dev, err := CreateFileDevice(filepath.Join(dir, "data.bin"), n, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := dev.Write(0, data); err != nil {
+				t.Fatal(err)
+			}
+			dev.ResetStats()
+			scratch, err := CreateFileDevice(filepath.Join(dir, "scratch.bin"), n, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stats, err := Sort[int64](bg, dev, scratch, n, Config{MemoryRecords: m, Workers: 4})
+			if err != nil {
+				t.Fatalf("%s x%d: %v", shape, factor, err)
+			}
+			got := make([]int64, n)
+			if err := dev.Read(0, got); err != nil {
+				t.Fatal(err)
+			}
+			if !verify.Equal(got, want) {
+				t.Fatalf("%s x%d: external and in-RAM sorts disagree", shape, factor)
+			}
+			if stats.PeakBufferRecords > m {
+				t.Fatalf("%s x%d: peak buffer %d exceeds budget %d", shape, factor, stats.PeakBufferRecords, m)
+			}
+			if factor > 1 && stats.MergePasses == 0 {
+				t.Fatalf("%s x%d: expected at least one merge pass", shape, factor)
+			}
+			if err := dev.Remove(); err != nil {
+				t.Fatal(err)
+			}
+			if err := scratch.Remove(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestSortProgressMonotonic checks the progress contract: done never
+// decreases, total is fixed, and the final call reports done == total.
+func TestSortProgressMonotonic(t *testing.T) {
+	n, m := 10000, 512
+	data := workload.Unsorted(rand.New(rand.NewSource(154)), n)
+	dev := NewBlockDevice[int32](n, 16)
+	dev.Load(data)
+	scratch := NewBlockDevice[int32](n, 16)
+	var lastDone, sawTotal int64
+	phases := map[string]bool{}
+	_, err := Sort(bg, dev, scratch, n, Config{
+		MemoryRecords: m,
+		Workers:       2,
+		Progress: func(done, total int64, phase string) {
+			if done < lastDone {
+				t.Errorf("progress went backwards: %d -> %d", lastDone, done)
+			}
+			if sawTotal != 0 && total != sawTotal {
+				t.Errorf("total changed: %d -> %d", sawTotal, total)
+			}
+			lastDone, sawTotal = done, total
+			phases[phase] = true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastDone != sawTotal {
+		t.Fatalf("final progress %d != total %d", lastDone, sawTotal)
+	}
+	if !phases["run_formation"] || !phases["merge"] {
+		t.Fatalf("missing phases: %v", phases)
+	}
+}
+
+// TestSortCancellation checks that a context canceled mid-merge stops the
+// sort at a window boundary with the context's error.
+func TestSortCancellation(t *testing.T) {
+	n, m := 50000, 256
+	data := workload.Unsorted(rand.New(rand.NewSource(155)), n)
+	dev := NewBlockDevice[int32](n, 16)
+	dev.Load(data)
+	scratch := NewBlockDevice[int32](n, 16)
+	ctx, cancel := context.WithCancel(bg)
+	_, err := Sort(ctx, dev, scratch, n, Config{
+		MemoryRecords: m,
+		Progress: func(done, total int64, phase string) {
+			if phase == "merge" {
+				cancel() // first merge window: abandon the job
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "canceled") {
+		t.Fatalf("error should say canceled: %v", err)
+	}
+
+	// Already-canceled context: fails in run formation.
+	dev2 := NewBlockDevice[int32](100, 16)
+	dev2.Load(workload.Unsorted(rand.New(rand.NewSource(156)), 100))
+	ctx2, cancel2 := context.WithCancel(bg)
+	cancel2()
+	if _, err := Sort(ctx2, dev2, NewBlockDevice[int32](100, 16), 100, Config{MemoryRecords: 16}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled: want context.Canceled, got %v", err)
 	}
 }

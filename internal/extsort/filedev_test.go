@@ -1,0 +1,116 @@
+package extsort
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFileDeviceRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dev.bin")
+	d, err := CreateFileDevice(path, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Capacity() != 64 || d.BlockRecords() != 8 || d.Path() != path {
+		t.Fatal("geometry wrong")
+	}
+	if err := d.Write(0, []int64{1, -2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]int64, 3)
+	if err := d.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != -2 || got[2] != 3 {
+		t.Fatalf("roundtrip: %v", got)
+	}
+	r, w := d.Stats()
+	if r != 1 || w != 1 {
+		t.Fatalf("io counts: r=%d w=%d", r, w)
+	}
+	// Straddling a block boundary charges both blocks, like BlockDevice.
+	d.ResetStats()
+	if err := d.Write(6, []int64{9, 9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, w := d.Stats(); w != 2 {
+		t.Fatalf("straddling write charged %d blocks", w)
+	}
+	// Zero-length I/O is free and legal.
+	if err := d.Read(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := d.Stats(); r != 0 {
+		t.Fatalf("empty read charged %d", r)
+	}
+}
+
+func TestFileDeviceErrors(t *testing.T) {
+	dir := t.TempDir()
+	d, err := CreateFileDevice(filepath.Join(dir, "dev.bin"), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Read(2, make([]int64, 3)); err == nil {
+		t.Fatal("oob read should error")
+	}
+	if err := d.Write(-1, make([]int64, 1)); err == nil {
+		t.Fatal("oob write should error")
+	}
+	if _, err := CreateFileDevice(filepath.Join(dir, "dev2.bin"), -1, 2); err == nil {
+		t.Fatal("negative capacity should error")
+	}
+	// A file that is not a whole number of records cannot be opened.
+	ragged := filepath.Join(dir, "ragged.bin")
+	if err := os.WriteFile(ragged, make([]byte, 12), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileDevice(ragged, 0); err == nil {
+		t.Fatal("ragged file should error")
+	}
+	if _, err := OpenFileDevice(filepath.Join(dir, "missing.bin"), 0); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestFileDeviceOpenExisting(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dev.bin")
+	d, err := CreateFileDevice(path, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(0, []int64{5, 6, 7, 8, 9, 10, 11, 12, 13, 14}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenFileDevice(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Capacity() != 10 {
+		t.Fatalf("capacity from size: %d", d2.Capacity())
+	}
+	if d2.BlockRecords() != DefaultFileBlockRecords {
+		t.Fatalf("default block size: %d", d2.BlockRecords())
+	}
+	got := make([]int64, 10)
+	if err := d2.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 5 || got[9] != 14 {
+		t.Fatalf("persisted contents: %v", got)
+	}
+	if err := d2.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("Remove should delete the backing file")
+	}
+}

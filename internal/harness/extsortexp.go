@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"math/rand"
 
 	"mergepath/internal/extsort"
@@ -25,14 +26,19 @@ func ExternalSortIO(opt Options) *Table {
 		if m < 6 {
 			continue
 		}
-		dev := extsort.NewBlockDevice(n, block)
+		dev := extsort.NewBlockDevice[int32](n, block)
 		dev.Load(data)
-		stats := extsort.Sort(dev, n, extsort.Config{MemoryRecords: m, Workers: 4})
+		scratch := extsort.NewBlockDevice[int32](n, block)
+		stats, err := extsort.Sort(context.Background(), dev, scratch, n,
+			extsort.Config{MemoryRecords: m, Workers: 4})
+		if err != nil {
+			panic(err) // in-memory devices cannot fail; config is static
+		}
 		got := stats.BlockReads + stats.BlockWrites
 		analytic := uint64(2 * (n / block) * (1 + stats.MergePasses))
 		t.Addf(humanSize(n), humanSize(m), stats.Runs, stats.MergePasses, got, analytic,
 			float64(got)/float64(analytic))
 	}
-	t.Note = "ratio > 1 is block-rounding of buffered reads plus the copy-back pass when the pass count is odd."
+	t.Note = "ratio > 1 is block-rounding of buffered reads plus the copy-back pass when the pass count is odd; passes shrink with the k-way fan-in."
 	return t
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 
+	"mergepath/internal/jobs"
 	"mergepath/internal/overload"
 )
 
@@ -38,6 +39,11 @@ type Health struct {
 	// machine position, element backlog, EWMA drain rate and the
 	// computed Retry-After. Nil only while draining.
 	Overload *overload.Snapshot `json:"overload,omitempty"`
+	// Jobs is the asynchronous jobs subsystem's snapshot — running and
+	// pending counts are the router-relevant fields (a node grinding
+	// through a big external sort is busier than its request queue
+	// shows). Nil only while draining.
+	Jobs *jobs.Snapshot `json:"jobs,omitempty"`
 }
 
 // handleHealthz reports liveness plus the overload state machine.
@@ -66,5 +72,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		h.Status = ov.State
 	}
 	h.Overload = &ov
+	js := s.jobs.Snapshot()
+	h.Jobs = &js
 	_ = json.NewEncoder(w).Encode(h)
 }

@@ -1,0 +1,322 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"strings"
+	"testing"
+	"time"
+
+	"mergepath/internal/fault"
+	"mergepath/internal/jobs"
+)
+
+func encodeRecords(vals []int64) []byte {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[i*8:], uint64(v))
+	}
+	return buf
+}
+
+func postDataset(t *testing.T, base string, payload []byte) jobs.Dataset {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/datasets", "application/octet-stream", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("upload status %d: %s", resp.StatusCode, body)
+	}
+	var ds jobs.Dataset
+	if err := json.NewDecoder(resp.Body).Decode(&ds); err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func submitJob(t *testing.T, base, dsID string) (jobs.View, int) {
+	t.Helper()
+	body, _ := json.Marshal(JobRequest{Type: "sortfile", Dataset: dsID})
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v jobs.View
+	_ = json.NewDecoder(resp.Body).Decode(&v)
+	return v, resp.StatusCode
+}
+
+func getJob(t *testing.T, base, id string) (jobs.View, int) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v jobs.View
+	_ = json.NewDecoder(resp.Body).Decode(&v)
+	return v, resp.StatusCode
+}
+
+// TestJobsAPIEndToEnd is the acceptance test for the out-of-core path: a
+// dataset 10x the job memory budget goes through the full HTTP lifecycle
+// — streamed upload, 202 submission, polling with monotonically
+// non-decreasing progress, result streaming — and the sorted bytes are
+// identical to an in-RAM sort while the engine's peak buffer allocation
+// stayed within the budget.
+func TestJobsAPIEndToEnd(t *testing.T) {
+	const budget = 4096
+	const n = 10 * budget
+	s := New(Config{Workers: 4, Jobs: jobs.Config{MemoryRecords: budget, Workers: 2}})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	defer s.Drain(t.Context())
+
+	rng := rand.New(rand.NewSource(77))
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = rng.Int63() - rng.Int63()
+	}
+	ds := postDataset(t, ts.URL, encodeRecords(vals))
+	if ds.Records != n {
+		t.Fatalf("dataset records %d, want %d", ds.Records, n)
+	}
+
+	v, status := submitJob(t, ts.URL, ds.ID)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status %d", status)
+	}
+	if v.State != jobs.Pending && v.State != jobs.Running {
+		t.Fatalf("fresh job state %s", v.State)
+	}
+
+	// Poll until terminal; progress must never go backwards.
+	last := -1.0
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		got, st := getJob(t, ts.URL, v.ID)
+		if st != http.StatusOK {
+			t.Fatalf("poll status %d", st)
+		}
+		if got.Progress < last {
+			t.Fatalf("progress regressed: %g -> %g", last, got.Progress)
+		}
+		last = got.Progress
+		v = got
+		if got.State != jobs.Pending && got.State != jobs.Running {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s at %g", got.State, got.Progress)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if v.State != jobs.Done {
+		t.Fatalf("job ended %s: %s", v.State, v.Error)
+	}
+	if v.Progress != 1 {
+		t.Fatalf("done progress %g", v.Progress)
+	}
+	if v.Stats == nil {
+		t.Fatal("done job missing sort stats")
+	}
+	if v.Stats.PeakBufferRecords > budget {
+		t.Fatalf("peak buffer %d records exceeds the %d budget", v.Stats.PeakBufferRecords, budget)
+	}
+	if v.Stats.MergePasses < 1 {
+		t.Fatalf("a 10x dataset must need merge passes: %+v", v.Stats)
+	}
+
+	// The streamed result must be byte-identical to the in-RAM sort.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("result status %d err %v", resp.StatusCode, err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("result content type %q", ct)
+	}
+	slices.Sort(vals)
+	if !bytes.Equal(raw, encodeRecords(vals)) {
+		t.Fatal("streamed result differs from the in-RAM sort")
+	}
+
+	// All three observability surfaces must report the jobs subsystem.
+	var snap MetricsSnapshot
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(mresp.Body).Decode(&snap)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Jobs == nil || snap.Jobs.Submitted != 1 || snap.Jobs.Completed != 1 {
+		t.Fatalf("metrics jobs block: %+v", snap.Jobs)
+	}
+	if snap.Jobs.BlockReads == 0 || snap.Jobs.BlockWrites == 0 {
+		t.Fatalf("metrics jobs I/O not accounted: %+v", snap.Jobs)
+	}
+	if ep, ok := snap.Endpoints["jobs"]; !ok || ep.Count == 0 {
+		t.Fatalf("jobs endpoint metrics missing: %+v", snap.Endpoints)
+	}
+	presp, err := http.Get(ts.URL + "/metrics/prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(presp.Body)
+	presp.Body.Close()
+	for _, series := range []string{
+		"mergepathd_jobs_submitted_total 1",
+		"mergepathd_jobs_completed_total 1",
+		"mergepathd_jobs_memory_records 4096",
+	} {
+		if !strings.Contains(string(prom), series) {
+			t.Fatalf("prom exposition missing %q", series)
+		}
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Health
+	err = json.NewDecoder(hresp.Body).Decode(&h)
+	hresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Jobs == nil || h.Jobs.Completed != 1 {
+		t.Fatalf("healthz jobs block: %+v", h.Jobs)
+	}
+
+	// Dataset CRUD round-trip.
+	dresp, err := http.Get(ts.URL + "/v1/datasets/" + ds.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("dataset get %d", dresp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/datasets/"+ds.ID, nil)
+	delResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	if delResp.StatusCode != http.StatusOK {
+		t.Fatalf("dataset delete %d", delResp.StatusCode)
+	}
+	gone, err := http.Get(ts.URL + "/v1/datasets/" + ds.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gone.Body.Close()
+	if gone.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleted dataset answered %d", gone.StatusCode)
+	}
+}
+
+// TestJobsAPIErrorsAndCancel covers the API's error statuses and the
+// DELETE-cancel path.
+func TestJobsAPIErrorsAndCancel(t *testing.T) {
+	inj, err := fault.Parse("sortfile:latency=400ms@1", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Workers: 2, Fault: inj,
+		Jobs: jobs.Config{MemoryRecords: 64, MaxConcurrent: 1}})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	defer s.Drain(t.Context())
+
+	// Ragged upload -> 400; unknown dataset -> 404; bad type -> 400.
+	resp, err := http.Post(ts.URL+"/v1/datasets", "application/octet-stream", bytes.NewReader(make([]byte, 11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("ragged upload %d", resp.StatusCode)
+	}
+	if _, st := submitJob(t, ts.URL, "ds-nope"); st != http.StatusNotFound {
+		t.Fatalf("unknown dataset submit %d", st)
+	}
+	ds := postDataset(t, ts.URL, encodeRecords(make([]int64, 512)))
+	body, _ := json.Marshal(JobRequest{Type: "shred", Dataset: ds.ID})
+	resp, err = http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad type %d", resp.StatusCode)
+	}
+	if _, st := getJob(t, ts.URL, "job-nope"); st != http.StatusNotFound {
+		t.Fatalf("unknown job get %d", st)
+	}
+
+	// Submit a job held open by injected latency, cancel it over HTTP.
+	v, st := submitJob(t, ts.URL, ds.ID)
+	if st != http.StatusAccepted {
+		t.Fatalf("submit %d", st)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+v.ID, nil)
+	cresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var canceled jobs.View
+	_ = json.NewDecoder(cresp.Body).Decode(&canceled)
+	cresp.Body.Close()
+	if cresp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d", cresp.StatusCode)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		got, _ := getJob(t, ts.URL, v.ID)
+		if got.State == jobs.Canceled {
+			break
+		}
+		if got.State != jobs.Pending && got.State != jobs.Running {
+			t.Fatalf("canceled job ended %s", got.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cancel never landed: %s", got.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// No result for a canceled job -> 409.
+	rresp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusConflict {
+		t.Fatalf("canceled result %d", rresp.StatusCode)
+	}
+	// Canceling it again is idempotent (200); canceling a done job is 409.
+	c2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Body.Close()
+	if c2.StatusCode != http.StatusOK {
+		t.Fatalf("re-cancel %d", c2.StatusCode)
+	}
+}

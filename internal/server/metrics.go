@@ -7,6 +7,7 @@ import (
 
 	"mergepath/internal/batch"
 	"mergepath/internal/core"
+	"mergepath/internal/jobs"
 	"mergepath/internal/overload"
 	"mergepath/internal/stats"
 )
@@ -46,8 +47,9 @@ type endpointMetrics struct {
 	latency stats.Histogram // successful requests only
 }
 
-// endpointNames is the fixed metric key set; one entry per /v1 route.
-var endpointNames = []string{"merge", "sort", "mergek", "setops", "select"}
+// endpointNames is the fixed metric key set; one entry per /v1 route
+// family ("datasets" and "jobs" each cover their whole CRUD surface).
+var endpointNames = []string{"merge", "sort", "mergek", "setops", "select", "datasets", "jobs"}
 
 // NewMetrics returns a zeroed metrics registry.
 func NewMetrics() *Metrics {
@@ -226,6 +228,11 @@ type MetricsSnapshot struct {
 	// state machine, the congestion signal it acts on, and the computed
 	// Retry-After it is currently quoting. Same snapshot as /healthz.
 	Overload overload.Snapshot `json:"overload"`
+	// Jobs is the asynchronous dataset/jobs subsystem's counters and
+	// gauges (internal/jobs): submissions by outcome, queue occupancy,
+	// spill usage and external-sort block I/O. Nil only in unit tests
+	// that snapshot a bare Metrics without a server.
+	Jobs *jobs.Snapshot `json:"jobs,omitempty"`
 }
 
 // snapshot assembles the exported document. p supplies live queue/worker

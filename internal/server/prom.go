@@ -72,6 +72,29 @@ func renderProm(snap MetricsSnapshot) string {
 	w.Counter("mergepathd_overload_transitions_total", `to="shedding"`, "Overload state transitions, by destination state.", float64(ov.TransitionsShedding))
 	w.Counter("mergepathd_overload_transitions_total", `to="healthy"`, "Overload state transitions, by destination state.", float64(ov.TransitionsHealthy))
 
+	// Jobs subsystem: submission outcomes, occupancy, spill usage and
+	// the external-sort engine's block I/O.
+	if j := snap.Jobs; j != nil {
+		w.Counter("mergepathd_jobs_submitted_total", "", "Jobs admitted since start.", float64(j.Submitted))
+		w.Counter("mergepathd_jobs_completed_total", "", "Jobs that finished successfully.", float64(j.Completed))
+		w.Counter("mergepathd_jobs_failed_total", "", "Jobs that ended in failure.", float64(j.Failed))
+		w.Counter("mergepathd_jobs_canceled_total", "", "Jobs canceled before completion.", float64(j.Canceled))
+		w.Counter("mergepathd_jobs_expired_total", "", "Finished jobs whose files the TTL sweeper removed.", float64(j.Expired))
+		w.Counter("mergepathd_jobs_shed_busy_total", "", "Job submissions refused because the job queue was full.", float64(j.ShedBusy))
+		w.Gauge("mergepathd_jobs_running", "", "Jobs executing right now.", float64(j.Running))
+		w.Gauge("mergepathd_jobs_pending", "", "Jobs waiting in the bounded job queue.", float64(j.Pending))
+		w.Gauge("mergepathd_jobs_queue_capacity", "", "Job queue bound; a full queue sheds with 503.", float64(j.QueueCapacity))
+		w.Gauge("mergepathd_jobs_max_concurrent", "", "Bound on jobs executing at once.", float64(j.MaxConcurrent))
+		w.Gauge("mergepathd_jobs_tracked", "", "Job records currently retained (all states).", float64(j.Tracked))
+		w.Gauge("mergepathd_jobs_datasets", "", "Datasets currently stored in the spill directory.", float64(j.Datasets))
+		w.Gauge("mergepathd_jobs_dataset_bytes", "", "Bytes of dataset payload currently on disk.", float64(j.DatasetBytes))
+		w.Gauge("mergepathd_jobs_memory_records", "", "Per-job in-memory budget in records (the external sort's M).", float64(j.MemoryRecords))
+		w.Counter("mergepathd_jobs_block_reads_total", "", "External-sort block reads accumulated across finished jobs.", float64(j.BlockReads))
+		w.Counter("mergepathd_jobs_block_writes_total", "", "External-sort block writes accumulated across finished jobs.", float64(j.BlockWrites))
+		w.Counter("mergepathd_jobs_gc_sweeps_total", "", "TTL garbage-collection passes.", float64(j.GCSweeps))
+		w.Counter("mergepathd_jobs_files_removed_total", "", "Spill files deleted (GC, cancel cleanup, dataset deletion).", float64(j.FilesRemoved))
+	}
+
 	// Per-endpoint request counters and latency summaries.
 	for _, name := range sortedKeys(snap.Endpoints) {
 		e := snap.Endpoints[name]
@@ -97,5 +120,5 @@ func renderProm(snap MetricsSnapshot) string {
 
 func (s *Server) handleMetricsProm(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", promtext.ContentType)
-	_, _ = w.Write([]byte(renderProm(s.m.snapshot(s.pool))))
+	_, _ = w.Write([]byte(renderProm(s.Snapshot())))
 }

@@ -29,6 +29,7 @@ import (
 	"mergepath/internal/batch"
 	"mergepath/internal/core"
 	"mergepath/internal/fault"
+	"mergepath/internal/jobs"
 	"mergepath/internal/kway"
 	"mergepath/internal/overload"
 	"mergepath/internal/psort"
@@ -89,6 +90,11 @@ type Config struct {
 	// span timings. Off by default: the spans still reach /metrics and
 	// the Server-Timing header either way.
 	AccessLog bool
+	// Jobs shapes the asynchronous dataset/jobs subsystem (spill
+	// directory, per-job memory budget, concurrency and TTL bounds —
+	// see internal/jobs). Zero values select the jobs package defaults;
+	// the Fault injector above is shared with it automatically.
+	Jobs jobs.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -123,17 +129,35 @@ type Server struct {
 	m        *Metrics
 	pool     *pool
 	ctrl     *overload.Controller
+	jobs     *jobs.Manager
 	mux      *http.ServeMux
 	draining atomic.Bool
 }
 
 // New starts a Server (its dispatcher runs immediately). Call Drain to
-// stop it.
+// stop it. New panics if the jobs spill directory cannot be created —
+// the one setup step that touches the filesystem.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{cfg: cfg, m: NewMetrics(), mux: http.NewServeMux()}
 	s.ctrl = overload.New(cfg.Overload)
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth, cfg.BatchWindow, cfg.BatchElements, s.m, s.ctrl)
+	// Jobs share the overload controller's element accounting: a queued
+	// or running sort is backlog like any admitted request, and each
+	// completed sort feeds the drain-rate EWMA.
+	jcfg := cfg.Jobs
+	jcfg.Fault = cfg.Fault
+	jcfg.Hooks = jobs.Hooks{
+		Enqueue: func(n int) { s.ctrl.Enqueue(n) },
+		Done:    func(n int) { s.ctrl.Done(n) },
+		Drained: func(n int, took time.Duration) { s.ctrl.ObserveDrain(n, took) },
+	}
+	jm, err := jobs.New(jcfg)
+	if err != nil {
+		panic("server: jobs subsystem: " + err.Error())
+	}
+	s.jobs = jm
+	s.jobRoutes()
 	s.mux.HandleFunc("POST /v1/merge", s.route("merge", s.handleMerge))
 	s.mux.HandleFunc("POST /v1/sort", s.route("sort", s.handleSort))
 	s.mux.HandleFunc("POST /v1/mergek", s.route("mergek", s.handleMergeK))
@@ -152,7 +176,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 func (s *Server) Metrics() *Metrics { return s.m }
 
 // Snapshot returns the current /metrics document.
-func (s *Server) Snapshot() MetricsSnapshot { return s.m.snapshot(s.pool) }
+func (s *Server) Snapshot() MetricsSnapshot {
+	snap := s.m.snapshot(s.pool)
+	js := s.jobs.Snapshot()
+	snap.Jobs = &js
+	return snap
+}
+
+// Jobs exposes the jobs manager (the daemon reports its spill dir).
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 
 // Workers reports the configured pool size.
 func (s *Server) Workers() int { return s.cfg.Workers }
@@ -164,7 +196,14 @@ func (s *Server) Workers() int { return s.cfg.Workers }
 // already received their responses.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
-	return s.pool.close(ctx)
+	err := s.pool.close(ctx)
+	// Jobs are cancellation-prompt (merge-window boundaries), so closing
+	// the manager — which cancels live jobs and removes an owned spill
+	// dir — does not need the ctx budget the pool drain got.
+	if jerr := s.jobs.Close(); err == nil {
+		err = jerr
+	}
+	return err
 }
 
 // route wraps an endpoint handler with the shared envelope: request-ID
@@ -505,5 +544,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(s.m.snapshot(s.pool))
+	_ = enc.Encode(s.Snapshot())
 }

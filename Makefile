@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify cover bench experiments fmt serve loadtest chaos soak lint-docs cluster cluster-quick jobs-soak jobs-soak-quick
+.PHONY: all build vet test race verify cover bench experiments fmt serve loadtest loadtest-wire chaos soak lint-docs fuzz-wire cluster cluster-quick jobs-soak jobs-soak-quick
 
 all: build vet test
 
@@ -20,7 +20,7 @@ race: vet
 		./internal/kway ./internal/setops ./internal/sched ./internal/baseline \
 		./internal/server ./internal/batch ./internal/stats ./internal/fault \
 		./internal/overload ./internal/resilience ./internal/router \
-		./internal/jobs ./internal/extsort
+		./internal/jobs ./internal/extsort ./internal/wire
 
 # Godoc audit: every exported identifier in the service-facing packages
 # must carry a doc comment (see cmd/lintdocs). Fails listing each gap.
@@ -28,8 +28,16 @@ lint-docs:
 	$(GO) run ./cmd/lintdocs ./internal/server ./internal/core \
 		./internal/batch ./internal/stats ./internal/overload \
 		./internal/resilience ./internal/router ./internal/promtext \
-		./internal/jobs ./internal/extsort \
+		./internal/jobs ./internal/extsort ./internal/wire \
 		./cmd/mergerouter
+
+# Short coverage-guided fuzz of the binary frame decoder: truncated,
+# oversized and corrupt frames must error cleanly (no panic, no
+# over-allocation), and every accepted frame must re-encode to the
+# exact input bytes (canonical encoding). The corpus seeds live in the
+# test; 10 seconds is enough to walk every header-validation branch.
+fuzz-wire:
+	$(GO) test -run FuzzDecode -fuzz FuzzDecode -fuzztime 10s ./internal/wire
 
 # Full pre-merge gate: build, vet, unit tests, godoc audit, race suite
 # (which includes the fault-injection lifecycle tests in internal/server
@@ -39,7 +47,7 @@ lint-docs:
 # cancels + GC under fault injection, -race). The longer overload/breaker
 # soak is its own target (`make soak`); the multi-process cluster is
 # `make cluster`; the extended jobs soak is `make jobs-soak`.
-verify: build vet test lint-docs race chaos cluster-quick jobs-soak-quick
+verify: build vet test lint-docs race fuzz-wire chaos cluster-quick jobs-soak-quick
 
 cover:
 	$(GO) test -cover ./...
@@ -69,6 +77,16 @@ serve:
 loadtest:
 	$(GO) run ./cmd/mergeload -duration 5s -conc 64 -size 4096 -dist skew \
 		-resilient -hedge-after 25ms -overload-target 2ms -overload-interval 50ms \
+		-json BENCH_server.json
+
+# The loadtest run plus the wire-format decode comparison: the same 1M
+# element merges driven as JSON and as binary frames against a clean
+# in-process daemon, recorded in BENCH_server.json's `wire` section.
+# The protocol's reason to exist is decode_p99_ratio well under 1/3.
+loadtest-wire:
+	$(GO) run ./cmd/mergeload -duration 5s -conc 64 -size 4096 -dist skew \
+		-resilient -hedge-after 25ms -overload-target 2ms -overload-interval 50ms \
+		-wire -wire-size 1048576 \
 		-json BENCH_server.json
 
 # Chaos pass: full load run with fault injection (panics, errors, latency)

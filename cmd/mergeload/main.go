@@ -80,6 +80,10 @@ type options struct {
 	jobsRecords int
 	jobsCount   int
 	jobsMemory  int
+
+	maxBody  int64
+	wireMode bool
+	wireSize int
 }
 
 // defaultChaosSpec is the -chaos fault mix: enough panics and errors to
@@ -92,7 +96,8 @@ const defaultChaosSpec = "*:panic=0.02,error=0.02,latency=1ms@0.2"
 type canned struct {
 	path  string
 	body  []byte
-	elems int // elements the server must produce for this request
+	ctype string // request Content-Type and Accept; empty = application/json
+	elems int    // elements the server must produce for this request
 }
 
 func main() {
@@ -121,6 +126,9 @@ func main() {
 	flag.IntVar(&o.jobsRecords, "jobs-records", 1<<18, "jobs mode: dataset size in 8-byte records")
 	flag.IntVar(&o.jobsCount, "jobs-count", 4, "jobs mode: sortfile jobs to run against the dataset")
 	flag.IntVar(&o.jobsMemory, "jobs-memory", 1<<14, "jobs mode, self-serve: per-job memory budget in records (keep it well under -jobs-records to force external merge passes)")
+	flag.Int64Var(&o.maxBody, "max-body", 0, "self-serve: request body cap in bytes (0 = server default; raise for -size beyond ~500k elements of JSON)")
+	flag.BoolVar(&o.wireMode, "wire", false, "after the main run, compare JSON vs binary-frame decode cost against a dedicated in-process daemon (adds a wire section to -json output)")
+	flag.IntVar(&o.wireSize, "wire-size", 1<<20, "wire comparison: total elements per merge request")
 	flag.Parse()
 
 	if o.chaos && o.url != "" {
@@ -131,8 +139,9 @@ func main() {
 	base := o.url
 	if base == "" {
 		cfg := server.Config{
-			Workers:    o.workers,
-			QueueDepth: o.queue,
+			Workers:      o.workers,
+			QueueDepth:   o.queue,
+			MaxBodyBytes: o.maxBody,
 			Overload: overload.Config{
 				Target:   o.overloadTarget,
 				Interval: o.overloadInterval,
@@ -204,12 +213,16 @@ func main() {
 		printClientReport(rclient)
 	}
 	timeline.print()
+	var wdoc *wireBenchDoc
+	if o.wireMode {
+		wdoc = runWireCompare(o)
+	}
 	if o.jsonPath != "" {
 		var snap *server.MetricsSnapshot
 		if target != "router" {
 			snap = fetchServerSnapshot(base, client)
 		}
-		writeJSON(o, res, base, client, snap, rclient, timeline, target)
+		writeJSON(o, res, base, client, snap, rclient, timeline, target, wdoc)
 	}
 	if o.chaos {
 		verifyChaos(srv, base, client, res)
@@ -560,13 +573,32 @@ func run(base string, client *http.Client, rclient *resilience.Client, reqs []ca
 
 	fire := func(c canned) {
 		h, okCount := res.endpointSlot(c.path)
+		ctype := c.ctype
+		if ctype == "" {
+			ctype = "application/json"
+		}
 		t0 := time.Now()
 		var resp *http.Response
 		var err error
 		if rclient != nil {
-			resp, err = rclient.Post(context.Background(), base+c.path, "application/json", c.body)
+			var hdr http.Header
+			if c.ctype != "" {
+				// Symmetric format: a binary request also asks for a
+				// binary response, so both directions are measured.
+				hdr = http.Header{"Accept": []string{c.ctype}}
+			}
+			resp, err = rclient.PostHeaders(context.Background(), base+c.path, ctype, hdr, c.body)
 		} else {
-			resp, err = client.Post(base+c.path, "application/json", bytes.NewReader(c.body))
+			req, rerr := http.NewRequest(http.MethodPost, base+c.path, bytes.NewReader(c.body))
+			if rerr != nil {
+				res.errs.Add(1)
+				return
+			}
+			req.Header.Set("Content-Type", ctype)
+			if c.ctype != "" {
+				req.Header.Set("Accept", c.ctype)
+			}
+			resp, err = client.Do(req)
 		}
 		lat := time.Since(t0)
 		if err != nil {
@@ -783,10 +815,14 @@ type benchDoc struct {
 	// Jobs is the -jobs mode section: out-of-core sortfile jobs with
 	// per-phase timings (queue wait, copy-in, run formation, merge).
 	Jobs *jobsBenchDoc `json:"jobs,omitempty"`
+	// Wire is the -wire section: JSON vs binary-frame decode cost on
+	// large merges, measured against a dedicated in-process daemon.
+	Wire *wireBenchDoc `json:"wire,omitempty"`
 }
 
-func writeJSON(o options, res *result, base string, client *http.Client, snap *server.MetricsSnapshot, rclient *resilience.Client, tl *stateTimeline, target string) {
+func writeJSON(o options, res *result, base string, client *http.Client, snap *server.MetricsSnapshot, rclient *resilience.Client, tl *stateTimeline, target string, wdoc *wireBenchDoc) {
 	var doc benchDoc
+	doc.Wire = wdoc
 	doc.Config.Target = target
 	doc.Config.Mode = "closed"
 	if o.rate > 0 {

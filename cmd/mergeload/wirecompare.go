@@ -1,0 +1,179 @@
+package main
+
+// The -wire comparison: the same large merges driven twice — once as
+// JSON documents, once as binary frames — against a dedicated
+// in-process daemon, reading the server-side decode/write spans off
+// Server-Timing. A dedicated daemon (default overload config, body cap
+// sized to the workload) keeps the measurement clean: the main run's
+// deliberately-overdriven controller must not shed the comparison's
+// requests, and identical input arrays behind both encodings make the
+// decode columns directly comparable.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"mergepath/internal/harness"
+	"mergepath/internal/server"
+	"mergepath/internal/stats"
+	"mergepath/internal/wire"
+)
+
+// wireCompareConc is the comparison's closed-loop concurrency: enough
+// to keep the daemon busy, low enough that queueing does not smear the
+// per-request decode spans being compared.
+const wireCompareConc = 4
+
+// wireFormatDoc is one format's half of the comparison.
+type wireFormatDoc struct {
+	// OK counts 200s in the measured window.
+	OK int64 `json:"ok"`
+	// ReqPerSec is OK over the measured window.
+	ReqPerSec float64 `json:"req_per_s"`
+	// BodyBytes is one request body's size in this format.
+	BodyBytes int `json:"body_bytes"`
+	// Latency is client-observed end-to-end latency.
+	Latency stats.HistogramSnapshot `json:"latency"`
+	// Decode is the server's decode span (body read + parse for JSON,
+	// frame validation + arena copy for binary). The write span never
+	// reaches the client — Server-Timing is emitted before the body is
+	// written — so response-encoding cost shows up in Latency only.
+	Decode stats.HistogramSnapshot `json:"decode"`
+}
+
+// wireBenchDoc is the -wire section of BENCH_server.json.
+type wireBenchDoc struct {
+	// Elements is the total element count per merge request.
+	Elements int `json:"elements"`
+	// Conc is the comparison's closed-loop concurrency.
+	Conc int `json:"conc"`
+	// Duration is each format's measured window.
+	Duration string `json:"duration"`
+	// JSON and Binary are the two formats' results.
+	JSON   wireFormatDoc `json:"json"`
+	Binary wireFormatDoc `json:"binary"`
+	// DecodeP99Ratio is binary decode p99 over JSON decode p99 — the
+	// headline number; the wire protocol exists to push this far below
+	// 1.
+	DecodeP99Ratio float64 `json:"decode_p99_ratio"`
+}
+
+// buildWirePairs pre-encodes the comparison workload: the same sorted
+// arrays behind both encodings, a few distinct bodies so the server's
+// routing/caching can't latch onto one payload.
+func buildWirePairs(o options) (jsonReqs, binReqs []canned) {
+	rng := rand.New(rand.NewSource(o.seed))
+	half := o.wireSize / 2
+	if half < 1 {
+		half = 1
+	}
+	sorted := func(n int) []int64 {
+		s := make([]int64, n)
+		v := int64(0)
+		for i := range s {
+			v += rng.Int63n(8)
+			s[i] = v
+		}
+		return s
+	}
+	for i := 0; i < 4; i++ {
+		a, b := sorted(half), sorted(half)
+		jb, err := json.Marshal(server.MergeRequest{A: a, B: b})
+		if err != nil {
+			fatalf("wire compare: marshal: %v", err)
+		}
+		jsonReqs = append(jsonReqs, canned{path: "/v1/merge", body: jb, elems: 2 * half})
+		binReqs = append(binReqs, canned{
+			path:  "/v1/merge",
+			body:  wire.AppendInt64(nil, a, b),
+			ctype: wire.ContentType,
+			elems: 2 * half,
+		})
+	}
+	return jsonReqs, binReqs
+}
+
+// runWireCompare measures both formats against a fresh in-process
+// daemon and returns the comparison document.
+func runWireCompare(o options) *wireBenchDoc {
+	jsonReqs, binReqs := buildWirePairs(o)
+
+	// Body cap: the JSON encoding of the workload plus headroom (the
+	// binary frame is always smaller).
+	need := int64(len(jsonReqs[0].body)) * 2
+	if need < o.maxBody {
+		need = o.maxBody
+	}
+	srv := server.New(server.Config{Workers: o.workers, MaxBodyBytes: need})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Drain(dctx)
+	}()
+
+	co := o
+	co.conc, co.rate, co.chaos = wireCompareConc, 0, false
+	client := &http.Client{Timeout: 30 * time.Second}
+	fmt.Printf("wire compare: %d elements/request, conc=%d, %v per format (json body %d bytes, frame %d bytes)\n",
+		o.wireSize, co.conc, o.duration, len(jsonReqs[0].body), len(binReqs[0].body))
+
+	measure := func(reqs []canned) *result {
+		run(ts.URL, client, nil, reqs, o.warmup, co, nil)
+		return run(ts.URL, client, nil, reqs, o.duration, co, nil)
+	}
+	resJSON := measure(jsonReqs)
+	resBin := measure(binReqs)
+
+	doc := &wireBenchDoc{
+		Elements: o.wireSize,
+		Conc:     co.conc,
+		Duration: o.duration.String(),
+		JSON:     formatDoc(resJSON, len(jsonReqs[0].body)),
+		Binary:   formatDoc(resBin, len(binReqs[0].body)),
+	}
+	if p99 := doc.JSON.Decode.P99; p99 > 0 {
+		doc.DecodeP99Ratio = float64(doc.Binary.Decode.P99) / float64(p99)
+	}
+	printWireTable(doc)
+	return doc
+}
+
+// formatDoc folds one format's run into its half of the document.
+func formatDoc(res *result, bodyBytes int) wireFormatDoc {
+	d := wireFormatDoc{
+		OK:        res.ok.Load(),
+		BodyBytes: bodyBytes,
+		Latency:   res.latency.Snapshot(),
+	}
+	if secs := res.elapsed.Seconds(); secs > 0 {
+		d.ReqPerSec = float64(d.OK) / secs
+	}
+	if h, ok := res.perStage[server.StageDecode]; ok {
+		d.Decode = h.Snapshot()
+	}
+	return d
+}
+
+func printWireTable(doc *wireBenchDoc) {
+	t := harness.NewTable(
+		fmt.Sprintf("wire compare: /v1/merge, %d elements/request", doc.Elements),
+		"format", "ok", "req/s", "body", "decode p50", "decode p99", "e2e p50", "e2e p99")
+	for _, row := range []struct {
+		name string
+		d    wireFormatDoc
+	}{{"json", doc.JSON}, {"binary", doc.Binary}} {
+		t.Addf(row.name, row.d.OK, fmt.Sprintf("%.0f", row.d.ReqPerSec),
+			fmt.Sprintf("%.1fMB", float64(row.d.BodyBytes)/(1<<20)),
+			fmtDur(row.d.Decode.P50), fmtDur(row.d.Decode.P99),
+			fmtDur(row.d.Latency.P50), fmtDur(row.d.Latency.P99))
+	}
+	fmt.Println(t)
+	fmt.Printf("wire compare: binary decode p99 is %.3fx json's\n", doc.DecodeP99Ratio)
+}

@@ -316,7 +316,15 @@ type Manager struct {
 	filesRemoved atomic.Uint64
 	blockReads   atomic.Uint64
 	blockWrites  atomic.Uint64
+	resultAborts atomic.Uint64
 }
+
+// NoteResultAbort records one result stream that died mid-body — the
+// client vanished or the spill file failed under the copy. The transfer
+// happens in the HTTP layer, so the counter is fed from there; it lives
+// here so it reaches /metrics, /healthz and /metrics/prom through the
+// one jobs Snapshot like every other jobs number.
+func (m *Manager) NoteResultAbort() { m.resultAborts.Add(1) }
 
 // New creates a Manager: spill directory ready, workers started, GC
 // ticking. Call Close to stop it.
@@ -759,6 +767,9 @@ type Snapshot struct {
 	// FilesRemoved counts spill files the manager deleted (GC, cancel
 	// cleanup, dataset deletion).
 	FilesRemoved uint64 `json:"files_removed_total"`
+	// ResultAborts counts result streams that died mid-body (client
+	// disconnect or read failure) instead of completing.
+	ResultAborts uint64 `json:"result_aborts_total"`
 }
 
 // Snapshot assembles the current metrics document.
@@ -777,6 +788,7 @@ func (m *Manager) Snapshot() Snapshot {
 		BlockWrites:   m.blockWrites.Load(),
 		GCSweeps:      m.gcSweeps.Load(),
 		FilesRemoved:  m.filesRemoved.Load(),
+		ResultAborts:  m.resultAborts.Load(),
 	}
 	m.mu.Lock()
 	s.Running = m.running

@@ -12,6 +12,7 @@ import (
 
 	"mergepath/internal/resilience"
 	"mergepath/internal/server"
+	"mergepath/internal/wire"
 )
 
 // Backend state tiers, ordered by routing preference. The router routes
@@ -88,6 +89,21 @@ func (b *backend) tierLocked() int {
 	default:
 		return tierDown
 	}
+}
+
+// speaksWire reports whether the backend's last polled /healthz
+// advertised the binary frame format. Backends that predate the wire
+// protocol publish no formats list and keep getting JSON — the
+// mixed-version fleet degrades per backend instead of breaking.
+func (b *backend) speaksWire() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, f := range b.health.Formats {
+		if f == wire.ContentType {
+			return true
+		}
+	}
+	return false
 }
 
 // load reports the backend's element backlog — the least-loaded
@@ -262,9 +278,13 @@ func rendezvousScore(key uint64, backendURL string) uint64 {
 // pickWhole selects one backend for an unsplit request: rendezvous-hash
 // the request key over the best available tier, then pick the less
 // loaded of the top two scorers (power-of-two-choices on the element
-// backlog). exclude skips one backend (failover re-picks). Returns nil
-// when no backend exists at all.
-func (r *registry) pickWhole(key uint64, exclude *backend) *backend {
+// backlog). exclude skips one backend (failover re-picks). preferWire
+// narrows the pool to backends advertising the binary frame format —
+// a preference, not a requirement: when no backend speaks it the full
+// pool is used and the chosen node answers 415 itself, which is the
+// honest passthrough outcome. Returns nil when no backend exists at
+// all.
+func (r *registry) pickWhole(key uint64, exclude *backend, preferWire bool) *backend {
 	cs := r.candidates()
 	if exclude != nil && len(cs) > 1 {
 		kept := cs[:0]
@@ -274,6 +294,17 @@ func (r *registry) pickWhole(key uint64, exclude *backend) *backend {
 			}
 		}
 		cs = kept
+	}
+	if preferWire {
+		var speaking []candidate
+		for _, c := range cs {
+			if c.b.speaksWire() {
+				speaking = append(speaking, c)
+			}
+		}
+		if len(speaking) > 0 {
+			cs = speaking
+		}
 	}
 	pool := bestTier(cs, tierDown)
 	if len(pool) == 0 {

@@ -12,6 +12,7 @@ import (
 	"mergepath/internal/promtext"
 	"mergepath/internal/server"
 	"mergepath/internal/stats"
+	"mergepath/internal/wire"
 )
 
 // metrics is the router's observability registry, mirroring the node
@@ -22,10 +23,11 @@ type metrics struct {
 	endpoints map[string]*endpointMetrics
 	stages    map[string]*stats.Histogram
 
-	routed    atomic.Uint64 // requests forwarded whole to one backend
-	scattered atomic.Uint64 // merges split across backends
-	rerouted  atomic.Uint64 // failovers: retries against a different backend
-	failed    atomic.Uint64 // requests the router answered 502/503 for
+	routed     atomic.Uint64 // requests forwarded whole to one backend
+	scattered  atomic.Uint64 // merges split across backends
+	rerouted   atomic.Uint64 // failovers: retries against a different backend
+	failed     atomic.Uint64 // requests the router answered 502/503 for
+	binaryHops atomic.Uint64 // scatter sub-requests encoded as binary frames
 
 	mu     sync.Mutex
 	fanout map[int]uint64 // scatter requests by window count
@@ -133,6 +135,11 @@ type RoutingSnapshot struct {
 	// Failed counts requests the router itself answered 502/503 for
 	// because no backend produced a usable response.
 	Failed uint64 `json:"failed"`
+	// BinaryHops counts scatter sub-requests sent as binary frames to
+	// backends advertising the wire format — on an all-current fleet it
+	// tracks the scatter volume; a persistent gap means some backends
+	// are still being fed JSON (mixed-version degrade).
+	BinaryHops uint64 `json:"binary_hops"`
 	// Fanout is the scatter fan-out distribution: window count →
 	// number of scattered requests that used it.
 	Fanout map[int]uint64 `json:"fanout,omitempty"`
@@ -159,10 +166,11 @@ func (m *metrics) snapshot(reg *registry) MetricsSnapshot {
 	s := MetricsSnapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Routing: RoutingSnapshot{
-			Routed:    m.routed.Load(),
-			Scattered: m.scattered.Load(),
-			Rerouted:  m.rerouted.Load(),
-			Failed:    m.failed.Load(),
+			Routed:     m.routed.Load(),
+			Scattered:  m.scattered.Load(),
+			Rerouted:   m.rerouted.Load(),
+			Failed:     m.failed.Load(),
+			BinaryHops: m.binaryHops.Load(),
 		},
 		Endpoints: make(map[string]server.EndpointSnapshot, len(m.endpoints)),
 		Stages:    make(map[string]stats.HistogramSnapshot, len(m.stages)),
@@ -222,6 +230,13 @@ type RouterHealth struct {
 	Backends int `json:"backends"`
 	// BackendStates counts backends by routing tier name.
 	BackendStates map[string]int `json:"backend_states"`
+	// Formats lists the request body media types this router accepts on
+	// /v1/* (same contract as the node daemon's /healthz formats field).
+	Formats []string `json:"formats,omitempty"`
+	// WireBackends counts backends whose last poll advertised the
+	// binary frame format — fleet operators watch this converge to
+	// Backends during a rollout.
+	WireBackends int `json:"wire_backends"`
 }
 
 func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -229,6 +244,7 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Role:          "router",
 		Backends:      len(rt.reg.backends),
 		BackendStates: make(map[string]int),
+		Formats:       []string{"application/json", wire.ContentType},
 	}
 	best := tierDown
 	for _, b := range rt.reg.backends {
@@ -236,6 +252,9 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		h.BackendStates[stateName(t)]++
 		if t < best {
 			best = t
+		}
+		if b.speaksWire() {
+			h.WireBackends++
 		}
 	}
 	status := http.StatusOK
@@ -270,6 +289,7 @@ func renderProm(snap MetricsSnapshot) string {
 	w.Counter("mergerouter_scattered_total", "", "Merges split across backends with the co-ranking cut.", float64(snap.Routing.Scattered))
 	w.Counter("mergerouter_rerouted_total", "", "Failover attempts retried against a different backend.", float64(snap.Routing.Rerouted))
 	w.Counter("mergerouter_failed_total", "", "Requests answered 502/503 by the router itself.", float64(snap.Routing.Failed))
+	w.Counter("mergerouter_binary_hops_total", "", "Scatter sub-requests encoded as binary frames (wire-speaking backends).", float64(snap.Routing.BinaryHops))
 
 	// Scatter fan-out distribution, one labelled series per observed
 	// window count.

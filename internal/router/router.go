@@ -22,6 +22,7 @@
 package router
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -29,14 +30,17 @@ import (
 	"hash/fnv"
 	"io"
 	"log"
+	"mime"
 	"net/http"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"mergepath/internal/kway"
 	"mergepath/internal/resilience"
 	"mergepath/internal/server"
+	"mergepath/internal/wire"
 )
 
 // Router lifecycle stage names, surfaced on Server-Timing, /metrics and
@@ -194,6 +198,7 @@ type reply struct {
 	status     int
 	obj        any         // encoded when body is nil
 	body       []byte      // raw passthrough from a backend
+	ctype      string      // body's Content-Type; empty means application/json
 	retryAfter string      // Retry-After to surface (backend-quoted)
 	timing     string      // backend Server-Timing to append to ours
 	backendID  string      // X-Request-Id minted downstream, if any
@@ -213,7 +218,11 @@ func (rt *Router) route(endpoint string, h func(*http.Request, *server.Trace) *r
 		r.Body = http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes)
 		r.Header.Set("X-Request-Id", id)
 		rep := h(r, tr)
-		w.Header().Set("Content-Type", "application/json")
+		ct := rep.ctype
+		if ct == "" {
+			ct = "application/json"
+		}
+		w.Header().Set("Content-Type", ct)
 		w.Header().Set("X-Request-Id", id)
 		st := tr.ServerTiming()
 		if rep.timing != "" {
@@ -290,6 +299,30 @@ func fwdHeaders(r *http.Request, id string) http.Header {
 	return hdr
 }
 
+// mediaTypeIs reports whether header value v names media type want,
+// ignoring parameters and case.
+func mediaTypeIs(v, want string) bool {
+	mt, _, err := mime.ParseMediaType(v)
+	return err == nil && mt == want
+}
+
+// wireRequest reports whether the client posted a binary frame.
+func wireRequest(r *http.Request) bool {
+	return mediaTypeIs(r.Header.Get("Content-Type"), wire.ContentType)
+}
+
+// wantsWire reports whether the client's Accept header asks for a
+// binary frame response. Same lenient policy as the node daemon: any
+// unparseable or unknown Accept falls back to JSON, never 406.
+func wantsWire(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		if mediaTypeIs(strings.TrimSpace(part), wire.ContentType) {
+			return true
+		}
+	}
+	return false
+}
+
 // backendResult is one backend call's outcome with the body drained, so
 // connections are reused and failover can freely discard it.
 type backendResult struct {
@@ -312,10 +345,12 @@ func retryableStatus(status int) bool {
 }
 
 // postBackend performs one resilient call to a backend and fully reads
-// the response, folding the outcome into the backend's counters.
-func (rt *Router) postBackend(ctx context.Context, b *backend, path string, hdr http.Header, body []byte) (*backendResult, error) {
+// the response, folding the outcome into the backend's counters. ctype
+// is the request body's Content-Type — JSON for legacy backends, the
+// binary frame for wire-speaking hops.
+func (rt *Router) postBackend(ctx context.Context, b *backend, path, ctype string, hdr http.Header, body []byte) (*backendResult, error) {
 	b.requests.Add(1)
-	resp, err := b.client.PostHeaders(ctx, b.url+path, "application/json", hdr, body)
+	resp, err := b.client.PostHeaders(ctx, b.url+path, ctype, hdr, body)
 	if err != nil {
 		b.errors.Add(1)
 		return nil, err
@@ -347,11 +382,16 @@ func (rt *Router) forwardHandler(path string) func(*http.Request, *server.Trace)
 
 // forwardWhole routes one request to a single backend, failing over to
 // a different backend once if the pick's resilient client could not get
-// a useful answer (transport error or a still-retryable status).
+// a useful answer (transport error or a still-retryable status). The
+// client's Content-Type and Accept pass through untouched — the
+// backend negotiates the format exactly as if it were hit directly —
+// and binary-frame requests prefer wire-speaking backends so a
+// mixed-version fleet routes them where they can succeed.
 func (rt *Router) forwardWhole(r *http.Request, tr *server.Trace, path string, raw []byte) *reply {
 	key := bodyKey(raw)
+	preferWire := wireRequest(r)
 	t0 := time.Now()
-	first := rt.reg.pickWhole(key, nil)
+	first := rt.reg.pickWhole(key, nil, preferWire)
 	tr.Span(StageRoute, t0)
 	if first == nil {
 		rt.m.failed.Add(1)
@@ -360,12 +400,19 @@ func (rt *Router) forwardWhole(r *http.Request, tr *server.Trace, path string, r
 	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.RequestTimeout)
 	defer cancel()
 	hdr := fwdHeaders(r, r.Header.Get("X-Request-Id"))
+	if a := r.Header.Get("Accept"); a != "" {
+		hdr.Set("Accept", a)
+	}
+	ctype := r.Header.Get("Content-Type")
+	if ctype == "" {
+		ctype = "application/json"
+	}
 	fstart := time.Now()
-	res, err := rt.postBackend(ctx, first, path, hdr, raw)
+	res, err := rt.postBackend(ctx, first, path, ctype, hdr, raw)
 	if (err != nil || retryableStatus(res.status)) && ctx.Err() == nil {
-		if second := rt.reg.pickWhole(key, first); second != nil && second != first {
+		if second := rt.reg.pickWhole(key, first, preferWire); second != nil && second != first {
 			rt.m.rerouted.Add(1)
-			res2, err2 := rt.postBackend(ctx, second, path, hdr, raw)
+			res2, err2 := rt.postBackend(ctx, second, path, ctype, hdr, raw)
 			// Keep the better outcome: any response beats an error, a
 			// conclusive status beats a retryable one.
 			switch {
@@ -382,7 +429,8 @@ func (rt *Router) forwardWhole(r *http.Request, tr *server.Trace, path string, r
 		return errReply(http.StatusBadGateway, fmt.Errorf("backend unavailable: %w", err))
 	}
 	rt.m.routed.Add(1)
-	rep := &reply{status: res.status, body: res.body, timing: res.header.Get("Server-Timing")}
+	rep := &reply{status: res.status, body: res.body,
+		ctype: res.header.Get("Content-Type"), timing: res.header.Get("Server-Timing")}
 	if ra := res.header.Get("Retry-After"); ra != "" &&
 		(res.status == http.StatusTooManyRequests || res.status == http.StatusServiceUnavailable) {
 		rep.retryAfter = ra
@@ -391,7 +439,10 @@ func (rt *Router) forwardWhole(r *http.Request, tr *server.Trace, path string, r
 }
 
 // handleMerge decides between whole routing and the co-ranking scatter
-// for one /v1/merge request.
+// for one /v1/merge request. Both request formats scatter: a binary
+// frame is decoded into the same (a, b) view a JSON body yields. Float
+// frames and anything else the scatter path has no cut for route whole
+// — the backend negotiates those exactly as if hit directly.
 func (rt *Router) handleMerge(r *http.Request, tr *server.Trace) *reply {
 	t0 := time.Now()
 	raw, rep := readBody(r)
@@ -400,7 +451,30 @@ func (rt *Router) handleMerge(r *http.Request, tr *server.Trace) *reply {
 		return rep
 	}
 	var req server.MergeRequest
-	if err := json.Unmarshal(raw, &req); err != nil {
+	if wireRequest(r) {
+		fr, err := wire.Decode(bytes.NewReader(raw), wire.Limits{MaxElements: int(rt.cfg.MaxBodyBytes / 8)})
+		if err != nil {
+			tr.Span(StageDecode, t0)
+			if errors.Is(err, wire.ErrTooLarge) {
+				return errReply(http.StatusRequestEntityTooLarge, err)
+			}
+			return errReply(http.StatusBadRequest, err)
+		}
+		defer fr.Release()
+		if fr.Type != wire.Int64 || fr.Lists() != 2 {
+			// Float merges (or frames a backend will reject anyway) are
+			// not scatterable here; let one node answer authoritatively.
+			tr.Span(StageDecode, t0)
+			return rt.forwardWhole(r, tr, "/v1/merge", raw)
+		}
+		req.A, req.B = fr.Ints[0], fr.Ints[1]
+	} else if ct := r.Header.Get("Content-Type"); ct != "" &&
+		!mediaTypeIs(ct, "application/json") && !mediaTypeIs(ct, "text/json") {
+		// Unknown media type: not ours to parse. Forward whole so the
+		// client gets the node's own 415, not a confusing parse error.
+		tr.Span(StageDecode, t0)
+		return rt.forwardWhole(r, tr, "/v1/merge", raw)
+	} else if err := json.Unmarshal(raw, &req); err != nil {
 		tr.Span(StageDecode, t0)
 		return errReply(http.StatusBadRequest, err)
 	}
@@ -467,19 +541,21 @@ func (rt *Router) scatterMerge(r *http.Request, tr *server.Trace, req server.Mer
 	gather := time.Since(gstart)
 	tr.Add(StageGather, gstart, gather)
 	rt.m.noteScatter(len(windows), gather)
+	if wantsWire(r) {
+		return &reply{status: http.StatusOK, ctype: wire.ContentType, body: wire.AppendInt64(nil, out)}
+	}
 	return &reply{status: http.StatusOK, obj: server.MergeResponse{Result: out}}
 }
 
 // mergeWindow executes one scatter window: its primary backend is
 // chosen round-robin by window index, and on failure every other
 // scatter participant is tried before the window (and with it the whole
-// request) is declared failed.
+// request) is declared failed. Each hop is encoded in the best format
+// that backend advertises — the binary frame when its /healthz lists
+// it, JSON otherwise — so a mixed-version fleet degrades per hop.
 func (rt *Router) mergeWindow(ctx context.Context, r *http.Request, id string, i int, req server.MergeRequest, w Window, backs []*backend) ([]int64, error) {
-	sub := server.MergeRequest{A: req.A[w.ALo:w.AHi], B: req.B[w.BLo:w.BHi]}
-	body, err := json.Marshal(sub)
-	if err != nil {
-		return nil, err
-	}
+	subA, subB := req.A[w.ALo:w.AHi], req.B[w.BLo:w.BHi]
+	var jsonBody, wireBody []byte // lazily encoded, at most once each
 	hdr := fwdHeaders(r, fmt.Sprintf("%s-s%d", id, i))
 	var lastErr error
 	for attempt := 0; attempt < len(backs); attempt++ {
@@ -490,7 +566,25 @@ func (rt *Router) mergeWindow(ctx context.Context, r *http.Request, id string, i
 		if attempt > 0 {
 			rt.m.rerouted.Add(1)
 		}
-		res, err := rt.postBackend(ctx, b, "/v1/merge", hdr, body)
+		body, ctype := jsonBody, "application/json"
+		if b.speaksWire() {
+			if wireBody == nil {
+				wireBody = wire.AppendInt64(nil, subA, subB)
+			}
+			body, ctype = wireBody, wire.ContentType
+			hdr.Set("Accept", wire.ContentType)
+			rt.m.binaryHops.Add(1)
+		} else {
+			if jsonBody == nil {
+				var err error
+				if jsonBody, err = json.Marshal(server.MergeRequest{A: subA, B: subB}); err != nil {
+					return nil, err
+				}
+			}
+			body = jsonBody
+			hdr.Set("Accept", "application/json")
+		}
+		res, err := rt.postBackend(ctx, b, "/v1/merge", ctype, hdr, body)
 		if err != nil {
 			lastErr = err
 			continue
@@ -499,20 +593,43 @@ func (rt *Router) mergeWindow(ctx context.Context, r *http.Request, id string, i
 			lastErr = fmt.Errorf("backend %s: window %d status %d", b.url, i, res.status)
 			continue
 		}
-		var mr server.MergeResponse
-		if err := json.Unmarshal(res.body, &mr); err != nil {
+		result, err := decodeSubMerge(res)
+		if err != nil {
 			lastErr = fmt.Errorf("backend %s: window %d: %w", b.url, i, err)
 			continue
 		}
-		if len(mr.Result) != w.Len() {
+		if len(result) != w.Len() {
 			lastErr = fmt.Errorf("backend %s: window %d returned %d elements, want %d",
-				b.url, i, len(mr.Result), w.Len())
+				b.url, i, len(result), w.Len())
 			continue
 		}
-		return mr.Result, nil
+		return result, nil
 	}
 	if lastErr == nil {
 		lastErr = ctx.Err()
 	}
 	return nil, lastErr
+}
+
+// decodeSubMerge extracts the sorted partial from one sub-merge
+// response, in whichever format the backend chose. The frame path
+// copies out of the pooled arena so the buffer goes straight back to
+// the pool instead of living until the gather finishes.
+func decodeSubMerge(res *backendResult) ([]int64, error) {
+	if mediaTypeIs(res.header.Get("Content-Type"), wire.ContentType) {
+		fr, err := wire.Decode(bytes.NewReader(res.body), wire.Limits{})
+		if err != nil {
+			return nil, err
+		}
+		defer fr.Release()
+		if fr.Type != wire.Int64 || fr.Lists() != 1 {
+			return nil, fmt.Errorf("sub-merge frame: type %d with %d lists, want one int64 list", fr.Type, fr.Lists())
+		}
+		return append([]int64(nil), fr.Ints[0]...), nil
+	}
+	var mr server.MergeResponse
+	if err := json.Unmarshal(res.body, &mr); err != nil {
+		return nil, err
+	}
+	return mr.Result, nil
 }

@@ -1,8 +1,9 @@
 package server
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"mergepath/internal/verify"
 )
@@ -79,8 +80,21 @@ type ErrorResponse struct {
 	Error string `json:"error"` // human-readable failure description
 }
 
-func checkSorted(name string, s []int64) error {
-	if !sort.SliceIsSorted(s, func(i, j int) bool { return s[i] < s[j] }) {
+// floatResult is the JSON shape of a float64 array response — the same
+// {"result": ...} document as MergeResponse, float-typed. Float arrays
+// only enter through the binary frame, but a client may still Accept
+// JSON for the answer.
+type floatResult struct {
+	Result []float64 `json:"result"` // the computed array
+}
+
+// checkSorted validates ascending order. Generic because the binary
+// frame carries float64 arrays over the same endpoints as JSON's int64.
+// Float64 NaN handling is unspecified (docs/WIRE.md): a NaN-bearing
+// array may be accepted or rejected, and merges over one have no
+// defined order.
+func checkSorted[T cmp.Ordered](name string, s []T) error {
+	if !slices.IsSorted(s) {
 		return fmt.Errorf("input %q is not sorted", name)
 	}
 	return nil
@@ -90,9 +104,9 @@ func checkSorted(name string, s []int64) error {
 // the verify package's scan and names the first violating index, so a
 // client shipping a 10M-element array learns exactly where its sort
 // invariant broke instead of re-deriving it locally.
-func checkSortedStrict(name string, s []int64) error {
+func checkSortedStrict[T cmp.Ordered](name string, s []T) error {
 	if i := verify.FirstUnsorted(s); i >= 0 {
-		return fmt.Errorf("input %q is not sorted: element %d (%d) < element %d (%d)",
+		return fmt.Errorf("input %q is not sorted: element %d (%v) < element %d (%v)",
 			name, i, s[i], i-1, s[i-1])
 	}
 	return nil

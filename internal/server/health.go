@@ -33,6 +33,12 @@ type Health struct {
 	// QueueCapacity is the admission queue bound; a full queue sheds
 	// with 503.
 	QueueCapacity int `json:"queue_capacity"`
+	// Formats lists the request/response body media types the /v1
+	// endpoints accept. The mergerouter tier reads it to decide whether
+	// scatter sub-requests to this backend may use the binary frame —
+	// capability discovery instead of fleet-wide config, so a mixed-
+	// version fleet mid-rollout degrades to JSON per backend.
+	Formats []string `json:"formats,omitempty"`
 	// Draining is true during graceful shutdown; new work is refused.
 	Draining bool `json:"draining,omitempty"`
 	// Overload is the adaptive overload controller's snapshot: state
@@ -58,6 +64,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Workers:       s.cfg.Workers,
 		QueueDepth:    s.pool.depth(),
 		QueueCapacity: s.cfg.QueueDepth,
+		Formats:       wireFormats(),
 	}
 	if s.draining.Load() {
 		h.Status = "draining"

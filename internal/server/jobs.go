@@ -99,10 +99,15 @@ func jobsErrStatus(err error) int {
 func (s *Server) handleDatasetCreate(w http.ResponseWriter, r *http.Request) int {
 	if s.draining.Load() {
 		w.Header().Set("Retry-After", strconv.Itoa(s.ctrl.RetryAfterSeconds()))
+		// Shedding without touching the upload kills the keep-alive
+		// connection; drain a bounded slice of it first (same policy as
+		// the route() envelope's error path).
+		drainBody(r)
 		return writeJSON(w, http.StatusServiceUnavailable, errBody(ErrDraining))
 	}
 	ds, err := s.jobs.CreateDataset(r.Body)
 	if err != nil {
+		drainBody(r)
 		return writeJSON(w, jobsErrStatus(err), errBody(err))
 	}
 	return writeJSON(w, http.StatusCreated, ds)
@@ -129,16 +134,12 @@ func (s *Server) handleDatasetDelete(r *http.Request) (int, any) {
 // element backlog should know about), then the manager's own bounded
 // queue (503).
 func (s *Server) handleJobSubmit(r *http.Request) (int, any) {
+	if status, err := s.admit(); status != 0 {
+		return status, errBody(err)
+	}
 	var req JobRequest
 	if status, err := decode(r, &req); err != nil {
 		return status, errBody(err)
-	}
-	if s.draining.Load() {
-		return http.StatusServiceUnavailable, errBody(ErrDraining)
-	}
-	if ok, _ := s.ctrl.Admit(); !ok {
-		s.m.throttled.Add(1)
-		return http.StatusTooManyRequests, errBody(ErrOverloaded)
 	}
 	v, err := s.jobs.Submit(req.Type, req.Dataset)
 	if err != nil {
@@ -167,8 +168,15 @@ func (s *Server) handleJobCancel(r *http.Request) (int, any) {
 	return http.StatusOK, v
 }
 
+// handleJobResult streams a finished job's sorted records. The 200 is
+// committed before the copy starts, so a stream that dies mid-body
+// cannot change the client-visible status — but it must not be
+// *recorded* as a success either: aborts are logged, counted in
+// jobs_result_aborts_total, and classified for metrics as 499 (client
+// went away) or 500 (the spill file failed under us).
 func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) int {
-	rc, size, err := s.jobs.OpenResult(r.PathValue("id"))
+	id := r.PathValue("id")
+	rc, size, err := s.jobs.OpenResult(id)
 	if err != nil {
 		return writeJSON(w, jobsErrStatus(err), errBody(err))
 	}
@@ -176,6 +184,19 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) int {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
 	w.WriteHeader(http.StatusOK)
-	_, _ = io.Copy(w, rc)
-	return http.StatusOK
+	n, err := io.Copy(w, rc)
+	if err == nil && n == size {
+		return http.StatusOK
+	}
+	s.jobs.NoteResultAbort()
+	if r.Context().Err() != nil {
+		// The write failed because the client disconnected mid-download —
+		// their choice, not a server failure.
+		log.Printf("server: job %s result aborted by client after %d/%d bytes", id, n, size)
+		return StatusClientClosedRequest
+	}
+	// Either the source read failed or it ended short of the size the
+	// job recorded — both mean the stored result is suspect.
+	log.Printf("server: job %s result stream failed after %d/%d bytes: %v", id, n, size, err)
+	return http.StatusInternalServerError
 }

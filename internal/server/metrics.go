@@ -27,6 +27,12 @@ type Metrics struct {
 	shedFlush atomic.Uint64 // coalesced pairs dropped expired/canceled at flush
 	panics    atomic.Uint64 // round panics recovered into per-job 500s
 
+	reqJSON    atomic.Uint64 // request bodies classified application/json
+	reqBinary  atomic.Uint64 // request bodies classified as the wire frame
+	respJSON   atomic.Uint64 // responses written as JSON (route envelope)
+	respBinary atomic.Uint64 // responses written as wire frames
+	badMedia   atomic.Uint64 // requests refused with 415
+
 	batchRounds atomic.Uint64 // coalesced rounds executed
 	batchPairs  atomic.Uint64 // small requests coalesced into those rounds
 	batchElems  atomic.Uint64 // output elements merged by those rounds
@@ -211,6 +217,26 @@ type PoolSnapshot struct {
 	PanicsRecovered uint64 `json:"panics_recovered"`
 }
 
+// WireSnapshot counts request and response bodies on the /v1 request
+// endpoints by negotiated format, plus the 415 refusals. A fleet
+// migrating from JSON to the binary frame watches RequestsBinary climb
+// here (and on the router) to know when the compatibility path can be
+// retired.
+type WireSnapshot struct {
+	// RequestsJSON counts request bodies negotiated as JSON.
+	RequestsJSON uint64 `json:"requests_json"`
+	// RequestsBinary counts request bodies negotiated as the frame.
+	RequestsBinary uint64 `json:"requests_binary"`
+	// ResponsesJSON counts responses written as JSON.
+	ResponsesJSON uint64 `json:"responses_json"`
+	// ResponsesBinary counts responses written as frames.
+	ResponsesBinary uint64 `json:"responses_binary"`
+	// UnsupportedMediaType counts requests refused with 415 — an
+	// unparseable/unknown Content-Type, or the frame sent to an endpoint
+	// with no binary request form (setops, select).
+	UnsupportedMediaType uint64 `json:"unsupported_media_type_total"`
+}
+
 // MetricsSnapshot is the /metrics JSON document. The same numbers back
 // the Prometheus exposition on /metrics/prom (rendered from this struct
 // so the two surfaces cannot drift).
@@ -228,6 +254,9 @@ type MetricsSnapshot struct {
 	// state machine, the congestion signal it acts on, and the computed
 	// Retry-After it is currently quoting. Same snapshot as /healthz.
 	Overload overload.Snapshot `json:"overload"`
+	// Wire counts bodies by negotiated format (JSON vs the binary
+	// frame) and 415 refusals on the /v1 request endpoints.
+	Wire WireSnapshot `json:"wire"`
 	// Jobs is the asynchronous dataset/jobs subsystem's counters and
 	// gauges (internal/jobs): submissions by outcome, queue occupancy,
 	// spill usage and external-sort block I/O. Nil only in unit tests
@@ -253,6 +282,13 @@ func (m *Metrics) snapshot(p *pool) MetricsSnapshot {
 			BatchElems:      m.batchElems.Load(),
 			RunRounds:       m.runRounds.Load(),
 			PanicsRecovered: m.panics.Load(),
+		},
+		Wire: WireSnapshot{
+			RequestsJSON:         m.reqJSON.Load(),
+			RequestsBinary:       m.reqBinary.Load(),
+			ResponsesJSON:        m.respJSON.Load(),
+			ResponsesBinary:      m.respBinary.Load(),
+			UnsupportedMediaType: m.badMedia.Load(),
 		},
 		Endpoints: make(map[string]EndpointSnapshot, len(m.endpoints)),
 		Stages:    make(map[string]stats.HistogramSnapshot, len(m.stages)),

@@ -72,6 +72,13 @@ func renderProm(snap MetricsSnapshot) string {
 	w.Counter("mergepathd_overload_transitions_total", `to="shedding"`, "Overload state transitions, by destination state.", float64(ov.TransitionsShedding))
 	w.Counter("mergepathd_overload_transitions_total", `to="healthy"`, "Overload state transitions, by destination state.", float64(ov.TransitionsHealthy))
 
+	// Wire formats: body counts by negotiated encoding and 415 refusals.
+	w.Counter("mergepathd_wire_requests_total", `format="json"`, "Request bodies on the /v1 endpoints, by negotiated format.", float64(snap.Wire.RequestsJSON))
+	w.Counter("mergepathd_wire_requests_total", `format="binary"`, "Request bodies on the /v1 endpoints, by negotiated format.", float64(snap.Wire.RequestsBinary))
+	w.Counter("mergepathd_wire_responses_total", `format="json"`, "Responses written on the /v1 endpoints, by format.", float64(snap.Wire.ResponsesJSON))
+	w.Counter("mergepathd_wire_responses_total", `format="binary"`, "Responses written on the /v1 endpoints, by format.", float64(snap.Wire.ResponsesBinary))
+	w.Counter("mergepathd_unsupported_media_type_total", "", "Requests refused with 415 for an unknown or endpoint-inapplicable Content-Type.", float64(snap.Wire.UnsupportedMediaType))
+
 	// Jobs subsystem: submission outcomes, occupancy, spill usage and
 	// the external-sort engine's block I/O.
 	if j := snap.Jobs; j != nil {
@@ -93,6 +100,7 @@ func renderProm(snap MetricsSnapshot) string {
 		w.Counter("mergepathd_jobs_block_writes_total", "", "External-sort block writes accumulated across finished jobs.", float64(j.BlockWrites))
 		w.Counter("mergepathd_jobs_gc_sweeps_total", "", "TTL garbage-collection passes.", float64(j.GCSweeps))
 		w.Counter("mergepathd_jobs_files_removed_total", "", "Spill files deleted (GC, cancel cleanup, dataset deletion).", float64(j.FilesRemoved))
+		w.Counter("mergepathd_jobs_result_aborts_total", "", "Job result streams that died mid-body (client disconnect or read failure).", float64(j.ResultAborts))
 	}
 
 	// Per-endpoint request counters and latency summaries.

@@ -16,9 +16,12 @@
 package server
 
 import (
+	"cmp"
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"runtime"
@@ -34,6 +37,7 @@ import (
 	"mergepath/internal/overload"
 	"mergepath/internal/psort"
 	"mergepath/internal/setops"
+	"mergepath/internal/wire"
 )
 
 // StatusClientClosedRequest is the de-facto-standard status (nginx's
@@ -207,7 +211,8 @@ func (s *Server) Drain(ctx context.Context) error {
 }
 
 // route wraps an endpoint handler with the shared envelope: request-ID
-// assignment, per-stage tracing, JSON response encoding, Server-Timing
+// assignment, per-stage tracing, response encoding in the negotiated
+// format (JSON, or the binary frame via arrayResult), Server-Timing
 // exposition, per-endpoint count/latency metrics, and the optional
 // structured access log.
 func (s *Server) route(endpoint string, h func(*http.Request) (int, any)) http.HandlerFunc {
@@ -221,7 +226,6 @@ func (s *Server) route(endpoint string, h func(*http.Request) (int, any)) http.H
 		r = r.WithContext(withTrace(r.Context(), tr))
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		status, body := h(r)
-		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Request-Id", id)
 		if st := tr.serverTiming(); st != "" {
 			w.Header().Set("Server-Timing", st)
@@ -233,9 +237,15 @@ func (s *Server) route(endpoint string, h func(*http.Request) (int, any)) http.H
 			// throughput, instead of a hardcoded guess.
 			w.Header().Set("Retry-After", strconv.Itoa(s.ctrl.RetryAfterSeconds()))
 		}
+		if status >= 400 {
+			// Error and shed responses fire before the body was (fully)
+			// read; consuming a bounded remainder keeps the keep-alive
+			// connection reusable instead of forcing every refused client
+			// into a reconnect exactly when the server is loaded.
+			drainBody(r)
+		}
 		wstart := time.Now()
-		w.WriteHeader(status)
-		_ = json.NewEncoder(w).Encode(body)
+		s.writeBody(w, status, body)
 		tr.span(StageWrite, wstart)
 		total := time.Since(start)
 		s.m.observe(endpoint, status, total)
@@ -246,12 +256,68 @@ func (s *Server) route(endpoint string, h func(*http.Request) (int, any)) http.H
 	}
 }
 
-// decode parses the body, distinguishing oversized (413) from malformed
-// (400). A nil error return means req is populated. The body read +
-// parse is recorded as the request's decode span.
+// writeBody encodes one response body in its negotiated format. Array
+// results carry their own format decision and pooled buffers (released
+// here, after the bytes are on the wire); everything else — error
+// documents, job/dataset docs, select responses — is JSON.
+func (s *Server) writeBody(w http.ResponseWriter, status int, body any) {
+	ar, isArray := body.(*arrayResult)
+	if isArray {
+		defer ar.free()
+	}
+	if isArray && ar.binary {
+		w.Header().Set("Content-Type", wire.ContentType)
+		var n int64
+		if ar.isFloat {
+			n = wire.Size(len(ar.floats))
+		} else {
+			n = wire.Size(len(ar.ints))
+		}
+		w.Header().Set("Content-Length", strconv.FormatInt(n, 10))
+		w.WriteHeader(status)
+		if ar.isFloat {
+			_ = wire.EncodeFloat64(w, ar.floats)
+		} else {
+			_ = wire.EncodeInt64(w, ar.ints)
+		}
+		s.m.respBinary.Add(1)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	switch {
+	case isArray && ar.isFloat:
+		_ = json.NewEncoder(w).Encode(floatResult{Result: ar.floats})
+	case isArray:
+		_ = json.NewEncoder(w).Encode(MergeResponse{Result: ar.ints})
+	default:
+		_ = json.NewEncoder(w).Encode(body)
+	}
+	s.m.respJSON.Add(1)
+}
+
+// decode parses a JSON body, distinguishing oversized (413) from
+// malformed (400). A nil error return means req is populated and the
+// document was the entire body — a request with trailing bytes after
+// the closing brace ({"a":[1]}junk) is malformed, not "parsed fine up
+// to the part we read". The body read + parse is recorded as the
+// request's decode span.
 func decode(r *http.Request, req any) (int, error) {
 	t0 := time.Now()
-	err := json.NewDecoder(r.Body).Decode(req)
+	dec := json.NewDecoder(r.Body)
+	err := dec.Decode(req)
+	if err == nil {
+		// json.Decoder stops at the document's end by design (it decodes
+		// streams); asking for one more token distinguishes clean EOF
+		// from trailing garbage or a second document.
+		switch _, terr := dec.Token(); terr {
+		case io.EOF:
+		case nil:
+			err = errors.New("request body: trailing data after JSON document")
+		default:
+			err = fmt.Errorf("request body: trailing data after JSON document: %w", terr)
+		}
+	}
 	traceFrom(r.Context()).span(StageDecode, t0)
 	if err == nil {
 		return http.StatusOK, nil
@@ -318,13 +384,13 @@ func (s *Server) noteRunStats(tr *Trace, began time.Time, ws []core.WorkerStat) 
 	s.m.recordRunRound(ws)
 }
 
-// execute runs a job through admission control and maps pool errors to
-// HTTP status codes. Returns 0 on success. Admission is two-layered:
-// the adaptive overload controller sheds first (429, sojourn over
-// target for too long), then the bounded queue sheds on hard overflow
-// (503) — the 429 layer should normally keep the queue from ever
-// filling.
-func (s *Server) execute(r *http.Request, j *job) (int, error) {
+// admit is the pre-decode admission gate: the drain flag and the
+// adaptive overload controller (429, sojourn over target for too
+// long). It runs before the body is decoded so a shedding server does
+// not also pay to parse the requests it refuses — under overload,
+// decode CPU is exactly what must be protected. Returns 0 when the
+// request may proceed to decode + execute.
+func (s *Server) admit() (int, error) {
 	if s.draining.Load() {
 		return http.StatusServiceUnavailable, ErrDraining
 	}
@@ -332,6 +398,15 @@ func (s *Server) execute(r *http.Request, j *job) (int, error) {
 		s.m.throttled.Add(1)
 		return http.StatusTooManyRequests, ErrOverloaded
 	}
+	return 0, nil
+}
+
+// execute runs an admitted job through the pool and maps pool errors to
+// HTTP status codes. Returns 0 on success. Admission is two-layered:
+// admit() sheds first (429, before decode), then the bounded queue
+// sheds on hard overflow (503) — the 429 layer should normally keep
+// the queue from ever filling.
+func (s *Server) execute(r *http.Request, j *job) (int, error) {
 	ctx, cancel, err := s.requestCtx(r)
 	if err != nil {
 		return http.StatusBadRequest, err
@@ -364,36 +439,34 @@ func errBody(err error) ErrorResponse { return ErrorResponse{Error: err.Error()}
 // checkInput validates sortedness of a request array. Both modes run the
 // same O(n) scan; StrictInput buys a forensic error message (first
 // violating index and values) for the price of a second scan on the
-// failure path only.
-func (s *Server) checkInput(name string, v []int64) error {
+// failure path only. Generic because the binary frame carries float64
+// arrays over the same endpoints.
+func checkInput[T cmp.Ordered](s *Server, name string, v []T) error {
 	if s.cfg.StrictInput {
 		return checkSortedStrict(name, v)
 	}
 	return checkSorted(name, v)
 }
 
-func (s *Server) handleMerge(r *http.Request) (int, any) {
-	var req MergeRequest
-	if status, err := decode(r, &req); err != nil {
-		return status, errBody(err)
+// mergeTwo validates a and b and merges them into out through the
+// pool. Small int64 merges take the coalescing pair path (the batch
+// layer is int64-typed); everything else — large merges and all float64
+// merges — runs as an instrumented whole-pool round: per-worker
+// search/merge timings become partition/merge spans and the round's
+// element spread feeds the imbalance metrics (the Theorem 5 check: it
+// should sit at ~1.0). Returns execute()'s status mapping.
+func mergeTwo[T cmp.Ordered](s *Server, r *http.Request, a, b, out []T) (int, error) {
+	if err := checkInput(s, "a", a); err != nil {
+		return http.StatusBadRequest, err
 	}
-	if err := s.checkInput("a", req.A); err != nil {
-		return http.StatusBadRequest, errBody(err)
+	if err := checkInput(s, "b", b); err != nil {
+		return http.StatusBadRequest, err
 	}
-	if err := s.checkInput("b", req.B); err != nil {
-		return http.StatusBadRequest, errBody(err)
-	}
-	out := make([]int64, len(req.A)+len(req.B))
 	j := s.newJob("merge", r)
 	j.elems = len(out)
-	if len(out) <= s.cfg.CoalesceLimit {
-		j.pair = &batch.Pair[int64]{A: req.A, B: req.B, Out: out}
+	if ia, ok := any(a).([]int64); ok && len(out) <= s.cfg.CoalesceLimit {
+		j.pair = &batch.Pair[int64]{A: ia, B: any(b).([]int64), Out: any(out).([]int64)}
 	} else {
-		// Large merges take the instrumented whole-pool path: per-worker
-		// search/merge timings become partition/merge spans and the
-		// round's element spread feeds the imbalance metrics (the
-		// Theorem 5 check: it should sit at ~1.0).
-		a, b := req.A, req.B
 		tr := j.trace
 		j.run = func(ctx context.Context, workers int) error {
 			began := time.Now()
@@ -402,18 +475,12 @@ func (s *Server) handleMerge(r *http.Request) (int, any) {
 			return err
 		}
 	}
-	if status, err := s.execute(r, j); err != nil {
-		return status, errBody(err)
-	}
-	return http.StatusOK, MergeResponse{Result: out}
+	return s.execute(r, j)
 }
 
-func (s *Server) handleSort(r *http.Request) (int, any) {
-	var req SortRequest
-	if status, err := decode(r, &req); err != nil {
-		return status, errBody(err)
-	}
-	data := req.Data
+// sortData sorts data in place through the pool's whole-pool round
+// path, recording psort's phase timings as partition/merge spans.
+func sortData[T cmp.Ordered](s *Server, r *http.Request, data []T) (int, error) {
 	j := s.newJob("sort", r)
 	j.elems = len(data)
 	tr := j.trace
@@ -428,24 +495,20 @@ func (s *Server) handleSort(r *http.Request) (int, any) {
 		s.m.noteImbalance(st.MaxImbalance)
 		return err
 	}
-	if status, err := s.execute(r, j); err != nil {
-		return status, errBody(err)
-	}
-	return http.StatusOK, SortResponse{Result: data}
+	return s.execute(r, j)
 }
 
-func (s *Server) handleMergeK(r *http.Request) (int, any) {
-	var req MergeKRequest
-	if status, err := decode(r, &req); err != nil {
-		return status, errBody(err)
-	}
-	for i, list := range req.Lists {
-		if err := s.checkInput("lists["+strconv.Itoa(i)+"]", list); err != nil {
-			return http.StatusBadRequest, errBody(err)
+// mergeKLists validates and k-way merges lists through the pool. With a
+// non-nil dst the merge lands there (the pooled binary-response path);
+// otherwise kway allocates — which preserves the JSON contract that an
+// empty request yields a null result.
+func mergeKLists[T cmp.Ordered](s *Server, r *http.Request, lists [][]T, dst []T) (int, []T, error) {
+	for i, list := range lists {
+		if err := checkInput(s, "lists["+strconv.Itoa(i)+"]", list); err != nil {
+			return http.StatusBadRequest, nil, err
 		}
 	}
-	var result []int64
-	lists := req.Lists
+	var result []T
 	j := s.newJob("mergek", r)
 	for _, list := range lists {
 		j.elems += len(list)
@@ -456,16 +519,170 @@ func (s *Server) handleMergeK(r *http.Request) (int, any) {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		result = kway.Merge(lists, workers)
+		if dst != nil {
+			result = kway.MergeInto(dst, lists, workers)
+		} else {
+			result = kway.Merge(lists, workers)
+		}
 		return nil
 	}
-	if status, err := s.execute(r, j); err != nil {
+	status, err := s.execute(r, j)
+	return status, result, err
+}
+
+func (s *Server) handleMerge(r *http.Request) (int, any) {
+	if status, err := s.admit(); status != 0 {
 		return status, errBody(err)
 	}
-	return http.StatusOK, MergeKResponse{Result: result}
+	bf, err := s.requestFormat(r)
+	if err != nil {
+		return http.StatusUnsupportedMediaType, errBody(err)
+	}
+	binOut := wantsWire(r)
+	if bf == fmtBinary {
+		f, status, err := s.decodeFrame(r, 2)
+		if err != nil {
+			return status, errBody(err)
+		}
+		if f.Type == wire.Float64 {
+			a, b := f.Floats[0], f.Floats[1]
+			out := wire.GetFloat64(len(a) + len(b))
+			if status, err := mergeTwo(s, r, a, b, out); err != nil {
+				f.Release()
+				wire.PutFloat64(out)
+				return status, errBody(err)
+			}
+			f.Release()
+			return http.StatusOK, &arrayResult{binary: binOut, isFloat: true, floats: out,
+				release: func() { wire.PutFloat64(out) }}
+		}
+		a, b := f.Ints[0], f.Ints[1]
+		out := wire.GetInt64(len(a) + len(b))
+		if status, err := mergeTwo(s, r, a, b, out); err != nil {
+			f.Release()
+			wire.PutInt64(out)
+			return status, errBody(err)
+		}
+		f.Release()
+		return http.StatusOK, &arrayResult{binary: binOut, ints: out,
+			release: func() { wire.PutInt64(out) }}
+	}
+	var req MergeRequest
+	if status, err := decode(r, &req); err != nil {
+		return status, errBody(err)
+	}
+	out := make([]int64, len(req.A)+len(req.B))
+	if status, err := mergeTwo(s, r, req.A, req.B, out); err != nil {
+		return status, errBody(err)
+	}
+	return http.StatusOK, &arrayResult{binary: binOut, ints: out}
+}
+
+func (s *Server) handleSort(r *http.Request) (int, any) {
+	if status, err := s.admit(); status != 0 {
+		return status, errBody(err)
+	}
+	bf, err := s.requestFormat(r)
+	if err != nil {
+		return http.StatusUnsupportedMediaType, errBody(err)
+	}
+	binOut := wantsWire(r)
+	if bf == fmtBinary {
+		// The frame's single list is sorted in place inside its pooled
+		// arena and encoded straight back out of it — the large-array
+		// path allocates nothing per request.
+		f, status, err := s.decodeFrame(r, 1)
+		if err != nil {
+			return status, errBody(err)
+		}
+		if f.Type == wire.Float64 {
+			data := f.Floats[0]
+			if status, err := sortData(s, r, data); err != nil {
+				f.Release()
+				return status, errBody(err)
+			}
+			return http.StatusOK, &arrayResult{binary: binOut, isFloat: true, floats: data, release: f.Release}
+		}
+		data := f.Ints[0]
+		if status, err := sortData(s, r, data); err != nil {
+			f.Release()
+			return status, errBody(err)
+		}
+		return http.StatusOK, &arrayResult{binary: binOut, ints: data, release: f.Release}
+	}
+	var req SortRequest
+	if status, err := decode(r, &req); err != nil {
+		return status, errBody(err)
+	}
+	if status, err := sortData(s, r, req.Data); err != nil {
+		return status, errBody(err)
+	}
+	return http.StatusOK, &arrayResult{binary: binOut, ints: req.Data}
+}
+
+func (s *Server) handleMergeK(r *http.Request) (int, any) {
+	if status, err := s.admit(); status != 0 {
+		return status, errBody(err)
+	}
+	bf, err := s.requestFormat(r)
+	if err != nil {
+		return http.StatusUnsupportedMediaType, errBody(err)
+	}
+	binOut := wantsWire(r)
+	if bf == fmtBinary {
+		f, status, err := s.decodeFrame(r, -1)
+		if err != nil {
+			return status, errBody(err)
+		}
+		if f.Type == wire.Float64 {
+			dst := wire.GetFloat64(f.Elements())
+			status, result, err := mergeKLists(s, r, f.Floats, dst)
+			if err != nil {
+				f.Release()
+				wire.PutFloat64(dst)
+				return status, errBody(err)
+			}
+			f.Release()
+			return http.StatusOK, &arrayResult{binary: binOut, isFloat: true, floats: result,
+				release: func() { wire.PutFloat64(dst) }}
+		}
+		dst := wire.GetInt64(f.Elements())
+		status, result, err := mergeKLists(s, r, f.Ints, dst)
+		if err != nil {
+			f.Release()
+			wire.PutInt64(dst)
+			return status, errBody(err)
+		}
+		f.Release()
+		return http.StatusOK, &arrayResult{binary: binOut, ints: result,
+			release: func() { wire.PutInt64(dst) }}
+	}
+	var req MergeKRequest
+	if status, err := decode(r, &req); err != nil {
+		return status, errBody(err)
+	}
+	status, result, err := mergeKLists(s, r, req.Lists, nil)
+	if err != nil {
+		return status, errBody(err)
+	}
+	return http.StatusOK, &arrayResult{binary: binOut, ints: result}
 }
 
 func (s *Server) handleSetOps(r *http.Request) (int, any) {
+	if status, err := s.admit(); status != 0 {
+		return status, errBody(err)
+	}
+	bf, err := s.requestFormat(r)
+	if err != nil {
+		return http.StatusUnsupportedMediaType, errBody(err)
+	}
+	if bf == fmtBinary {
+		// The setops document carries an op name the bare-array frame
+		// cannot express; the request stays JSON (the response side still
+		// honours Accept).
+		s.m.badMedia.Add(1)
+		return http.StatusUnsupportedMediaType, errBody(errNoBinaryForm("setops"))
+	}
 	var req SetOpsRequest
 	if status, err := decode(r, &req); err != nil {
 		return status, errBody(err)
@@ -481,10 +698,10 @@ func (s *Server) handleSetOps(r *http.Request) (int, any) {
 	default:
 		return http.StatusBadRequest, errBody(errors.New(`op must be "union", "intersect" or "diff"`))
 	}
-	if err := s.checkInput("a", req.A); err != nil {
+	if err := checkInput(s, "a", req.A); err != nil {
 		return http.StatusBadRequest, errBody(err)
 	}
-	if err := s.checkInput("b", req.B); err != nil {
+	if err := checkInput(s, "b", req.B); err != nil {
 		return http.StatusBadRequest, errBody(err)
 	}
 	var result []int64
@@ -501,21 +718,29 @@ func (s *Server) handleSetOps(r *http.Request) (int, any) {
 	if status, err := s.execute(r, j); err != nil {
 		return status, errBody(err)
 	}
-	return http.StatusOK, SetOpsResponse{Result: result}
+	return http.StatusOK, &arrayResult{binary: wantsWire(r), ints: result}
 }
 
 // handleSelect answers diagonal rank selection inline: a pair of binary
 // searches is far cheaper than a trip through the queue, and keeping it
 // off the pool means rank probes stay fast even when merges are shedding.
 func (s *Server) handleSelect(r *http.Request) (int, any) {
+	if bf, err := s.requestFormat(r); err != nil {
+		return http.StatusUnsupportedMediaType, errBody(err)
+	} else if bf == fmtBinary {
+		// Select's request carries a rank K the bare-array frame cannot
+		// express, and its response is a rank document, not an array.
+		s.m.badMedia.Add(1)
+		return http.StatusUnsupportedMediaType, errBody(errNoBinaryForm("select"))
+	}
 	var req SelectRequest
 	if status, err := decode(r, &req); err != nil {
 		return status, errBody(err)
 	}
-	if err := s.checkInput("a", req.A); err != nil {
+	if err := checkInput(s, "a", req.A); err != nil {
 		return http.StatusBadRequest, errBody(err)
 	}
-	if err := s.checkInput("b", req.B); err != nil {
+	if err := checkInput(s, "b", req.B); err != nil {
 		return http.StatusBadRequest, errBody(err)
 	}
 	if req.K < 0 || req.K > len(req.A)+len(req.B) {

@@ -8,12 +8,21 @@ import (
 	"time"
 )
 
-// Percentile returns the q-th quantile (0 <= q <= 1) of the sample using
-// linear interpolation between closest ranks — the same estimator as
-// numpy's default. Percentile(0.5) agrees with Median on odd sample sizes
-// and on even sizes interpolates the middle pair identically.
-func (s Sample) Percentile(q float64) time.Duration {
-	n := len(s.Durations)
+// sorted returns an ascending copy of the sample — the one O(n log n)
+// step every quantile read shares. Quantile readers must go through
+// this plus quantileSorted so a multi-quantile summary pays for the
+// sort once, not once per quantile.
+func (s Sample) sorted() []time.Duration {
+	d := append([]time.Duration(nil), s.Durations...)
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+	return d
+}
+
+// quantileSorted reads the q-th quantile (0 <= q <= 1, clamped) off an
+// already-sorted slice using linear interpolation between closest ranks
+// — the same estimator as numpy's default.
+func quantileSorted(d []time.Duration, q float64) time.Duration {
+	n := len(d)
 	if n == 0 {
 		return 0
 	}
@@ -23,8 +32,6 @@ func (s Sample) Percentile(q float64) time.Duration {
 	if q > 1 {
 		q = 1
 	}
-	d := append([]time.Duration(nil), s.Durations...)
-	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
 	if n == 1 {
 		return d[0]
 	}
@@ -36,6 +43,28 @@ func (s Sample) Percentile(q float64) time.Duration {
 	}
 	frac := pos - float64(lo)
 	return d[lo] + time.Duration(frac*float64(d[hi]-d[lo]))
+}
+
+// Percentile returns the q-th quantile (0 <= q <= 1) of the sample using
+// linear interpolation between closest ranks — the same estimator as
+// numpy's default. Percentile(0.5) agrees with Median on odd sample sizes
+// and on even sizes interpolates the middle pair identically. Each call
+// sorts a copy of the sample; to read several quantiles, use Quantiles,
+// which sorts once.
+func (s Sample) Percentile(q float64) time.Duration {
+	return quantileSorted(s.sorted(), q)
+}
+
+// Quantiles returns the interpolated quantile for each q, in order,
+// sorting the sample once for the whole batch — a p50/p95/p99 summary
+// costs one sort, not three.
+func (s Sample) Quantiles(qs ...float64) []time.Duration {
+	d := s.sorted()
+	out := make([]time.Duration, len(qs))
+	for i, q := range qs {
+		out[i] = quantileSorted(d, q)
+	}
+	return out
 }
 
 // P50 is the interpolated median.

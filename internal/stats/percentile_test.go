@@ -44,6 +44,30 @@ func TestPercentileMatchesMedian(t *testing.T) {
 	}
 }
 
+// TestQuantilesMatchPercentile pins the sort-once batch reader to the
+// one-sort-per-call estimator: same inputs, same outputs, any order of
+// quantiles, including an unsorted sample and out-of-range q.
+func TestQuantilesMatchPercentile(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := Sample{}
+	for i := 0; i < 257; i++ {
+		s.Durations = append(s.Durations, time.Duration(rng.Intn(1_000_000)))
+	}
+	qs := []float64{0.99, 0.5, 0, 1, 0.95, -0.5, 2, 0.123}
+	got := s.Quantiles(qs...)
+	if len(got) != len(qs) {
+		t.Fatalf("len = %d, want %d", len(got), len(qs))
+	}
+	for i, q := range qs {
+		if want := s.Percentile(q); got[i] != want {
+			t.Errorf("Quantiles[%d] (q=%v) = %v, want %v", i, q, got[i], want)
+		}
+	}
+	if got := (Sample{}).Quantiles(0.5, 0.99); got[0] != 0 || got[1] != 0 {
+		t.Errorf("empty sample Quantiles = %v, want zeros", got)
+	}
+}
+
 func TestPercentileEdgeCases(t *testing.T) {
 	if got := (Sample{}).Percentile(0.5); got != 0 {
 		t.Errorf("empty sample: got %v, want 0", got)

@@ -5,7 +5,6 @@
 package stats
 
 import (
-	"sort"
 	"time"
 )
 
@@ -33,18 +32,9 @@ func Measure(warmup, reps int, f func()) Sample {
 }
 
 // Median returns the median duration (mean of the middle two for even
-// sample sizes).
+// sample sizes — identically the interpolated 0.5 quantile).
 func (s Sample) Median() time.Duration {
-	if len(s.Durations) == 0 {
-		return 0
-	}
-	d := append([]time.Duration(nil), s.Durations...)
-	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
-	mid := len(d) / 2
-	if len(d)%2 == 1 {
-		return d[mid]
-	}
-	return (d[mid-1] + d[mid]) / 2
+	return quantileSorted(s.sorted(), 0.5)
 }
 
 // Min returns the fastest run — the conventional "best of n" figure for

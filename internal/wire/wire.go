@@ -1,0 +1,454 @@
+// Package wire defines the mergepath binary frame: the length-prefixed
+// little-endian wire format negotiated on the /v1 endpoints via
+// Content-Type/Accept (see docs/WIRE.md for the byte-level spec).
+//
+// JSON decode is a top-two latency stage on the service (BENCH_server:
+// parsing numbers costs more than merging them), so the frame carries
+// int64/float64 arrays as raw little-endian payloads behind an 8-byte
+// header and a per-list length table. Decode streams the payload
+// chunk-by-chunk straight into one sync.Pool-recycled arena — a frame
+// with k lists costs one pooled allocation, not k, and the bytes never
+// materialize twice — and Encode writes straight from the result slice
+// with no intermediate buffer. Callers return arenas with
+// Frame.Release / PutInt64 / PutFloat64 once the response is written.
+//
+// Layout (all integers little-endian):
+//
+//	offset 0  4 bytes  magic "MPW1"
+//	offset 4  1 byte   version (1)
+//	offset 5  1 byte   element type: 1 = int64, 2 = float64
+//	offset 6  uint16   list count n
+//	offset 8  n×uint64 per-list element counts
+//	then      payload  lists concatenated, 8 bytes per element
+//
+// Decode validates the length table against Limits before allocating
+// anything, so a hostile 8-byte header cannot demand gigabytes, and it
+// rejects trailing bytes after the payload — a frame is the whole body,
+// exactly, mirroring the JSON path's trailing-garbage check.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// ContentType is the MIME type that selects the binary frame on the /v1
+// endpoints (request via Content-Type, response via Accept).
+const ContentType = "application/x-mergepath-frame"
+
+// Version is the only frame version this package reads and writes.
+const Version = 1
+
+// Type identifies the element encoding of a frame's payload.
+type Type byte
+
+// Element types. Every list in a frame shares one type.
+const (
+	// Int64 payloads are two's-complement little-endian int64 values.
+	Int64 Type = 1
+	// Float64 payloads are IEEE-754 binary64 values, little-endian.
+	Float64 Type = 2
+)
+
+// String names the type for errors and logs.
+func (t Type) String() string {
+	switch t {
+	case Int64:
+		return "int64"
+	case Float64:
+		return "float64"
+	default:
+		return fmt.Sprintf("type(%d)", byte(t))
+	}
+}
+
+func (t Type) valid() bool { return t == Int64 || t == Float64 }
+
+// headerSize is the fixed prefix before the length table.
+const headerSize = 8
+
+// magic is the first four body bytes of every frame.
+var magic = [4]byte{'M', 'P', 'W', '1'}
+
+// Decode error classes. Decode wraps them with detail; match with
+// errors.Is. All of them are client errors (a malformed or oversized
+// frame), never internal failures.
+var (
+	// ErrMagic reports a body that is not a mergepath frame at all.
+	ErrMagic = errors.New("wire: bad magic (not a mergepath frame)")
+	// ErrVersion reports a frame version this build does not speak.
+	ErrVersion = errors.New("wire: unsupported frame version")
+	// ErrType reports an element type byte outside {int64, float64}.
+	ErrType = errors.New("wire: unknown element type")
+	// ErrTooLarge reports a length table demanding more elements than
+	// Limits allows; nothing was allocated.
+	ErrTooLarge = errors.New("wire: frame exceeds element limit")
+	// ErrTruncated reports a body that ended before header + length
+	// table + payload were complete.
+	ErrTruncated = errors.New("wire: truncated frame")
+	// ErrTrailing reports bytes after the declared payload: the frame
+	// must be the entire body.
+	ErrTrailing = errors.New("wire: trailing bytes after frame payload")
+	// ErrTooManyLists reports an Encode call with more lists than the
+	// uint16 list-count field can carry.
+	ErrTooManyLists = errors.New("wire: too many lists for one frame")
+)
+
+// DefaultMaxElements bounds decode when Limits.MaxElements is zero:
+// 2^27 elements = 1 GiB of payload.
+const DefaultMaxElements = 1 << 27
+
+// Limits bounds what Decode will allocate. The length table is
+// validated against it before the arena is sized, so the limit also
+// caps the damage of an absurd-length header on a tiny body.
+type Limits struct {
+	// MaxElements caps the total element count across all lists of one
+	// frame. Zero selects DefaultMaxElements.
+	MaxElements int
+}
+
+// Frame is one decoded message: n lists sharing one element type. The
+// non-nil one of Ints/Floats holds the lists; all of them alias a
+// single pooled arena, so the caller must not retain any list beyond
+// Release.
+type Frame struct {
+	// Type says which of Ints/Floats is populated.
+	Type Type
+	// Ints holds the lists of an Int64 frame (nil otherwise). Lists are
+	// sub-slices of one shared arena.
+	Ints [][]int64
+	// Floats holds the lists of a Float64 frame (nil otherwise).
+	Floats [][]float64
+
+	arenaI []int64
+	arenaF []float64
+}
+
+// Lists reports the number of lists in the frame.
+func (f *Frame) Lists() int {
+	if f.Type == Float64 {
+		return len(f.Floats)
+	}
+	return len(f.Ints)
+}
+
+// Elements reports the total element count across all lists.
+func (f *Frame) Elements() int {
+	if f.Type == Float64 {
+		return len(f.arenaF)
+	}
+	return len(f.arenaI)
+}
+
+// Release returns the frame's arena to the pool and clears the list
+// headers. Safe on nil and safe to call twice; every Ints/Floats slice
+// is invalid afterward.
+func (f *Frame) Release() {
+	if f == nil {
+		return
+	}
+	if f.arenaI != nil {
+		PutInt64(f.arenaI)
+		f.arenaI, f.Ints = nil, nil
+	}
+	if f.arenaF != nil {
+		PutFloat64(f.arenaF)
+		f.arenaF, f.Floats = nil, nil
+	}
+}
+
+// chunkBytes is the streaming unit for both directions: big enough to
+// amortize Read/Write calls, small enough to stay pool-friendly. A
+// multiple of 8 so chunks never split an element.
+const chunkBytes = 64 << 10
+
+var chunkPool = sync.Pool{New: func() any { b := make([]byte, chunkBytes); return &b }}
+
+// maxPooledCap caps what the arena pools retain: 1<<22 elements
+// (32 MiB). Larger arenas serve their one request and go to the GC, so
+// a single huge frame doesn't pin its high-water mark forever.
+const maxPooledCap = 1 << 22
+
+var (
+	int64Pool   = sync.Pool{New: func() any { return new([]int64) }}
+	float64Pool = sync.Pool{New: func() any { return new([]float64) }}
+)
+
+// roundCap rounds an arena request up to a power of two so pooled
+// arenas converge on a few size classes instead of one per body size.
+func roundCap(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// GetInt64 returns a pooled []int64 of length n (contents undefined).
+// Pair with PutInt64.
+func GetInt64(n int) []int64 {
+	p := int64Pool.Get().(*[]int64)
+	if cap(*p) < n {
+		*p = make([]int64, roundCap(n))
+	}
+	return (*p)[:n]
+}
+
+// PutInt64 returns a slice obtained from GetInt64 to the pool.
+func PutInt64(s []int64) {
+	if cap(s) == 0 || cap(s) > maxPooledCap {
+		return
+	}
+	s = s[:0]
+	int64Pool.Put(&s)
+}
+
+// GetFloat64 returns a pooled []float64 of length n (contents
+// undefined). Pair with PutFloat64.
+func GetFloat64(n int) []float64 {
+	p := float64Pool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, roundCap(n))
+	}
+	return (*p)[:n]
+}
+
+// PutFloat64 returns a slice obtained from GetFloat64 to the pool.
+func PutFloat64(s []float64) {
+	if cap(s) == 0 || cap(s) > maxPooledCap {
+		return
+	}
+	s = s[:0]
+	float64Pool.Put(&s)
+}
+
+func truncated(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	return err
+}
+
+// Decode reads one complete frame from r into a pooled arena,
+// streaming the payload in 64 KiB chunks. The length table is checked
+// against lim before any allocation. The body must end exactly at the
+// payload's last byte; anything further is ErrTrailing. Call
+// frame.Release when done with the lists.
+func Decode(r io.Reader, lim Limits) (*Frame, error) {
+	maxElems := lim.MaxElements
+	if maxElems <= 0 {
+		maxElems = DefaultMaxElements
+	}
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, truncated(err)
+	}
+	if [4]byte(hdr[:4]) != magic {
+		return nil, ErrMagic
+	}
+	if hdr[4] != Version {
+		return nil, fmt.Errorf("%w: got %d, speak %d", ErrVersion, hdr[4], Version)
+	}
+	t := Type(hdr[5])
+	if !t.valid() {
+		return nil, fmt.Errorf("%w: %d", ErrType, hdr[5])
+	}
+	n := int(binary.LittleEndian.Uint16(hdr[6:8]))
+	// The length table is at most 65535×8 B = 512 KiB — bounded by the
+	// format, so reading it whole before validation is safe.
+	lenBuf := make([]byte, 8*n)
+	if _, err := io.ReadFull(r, lenBuf); err != nil {
+		return nil, truncated(err)
+	}
+	lengths := make([]int, n)
+	var total uint64
+	for i := range lengths {
+		l := binary.LittleEndian.Uint64(lenBuf[8*i:])
+		total += l
+		// Check per-list and cumulative against the limit in uint64 so
+		// neither a huge single length nor a wrapping sum sneaks by.
+		if l > uint64(maxElems) || total > uint64(maxElems) {
+			return nil, fmt.Errorf("%w: %d elements > limit %d", ErrTooLarge, total, maxElems)
+		}
+		lengths[i] = int(l)
+	}
+	f := &Frame{Type: t}
+	var err error
+	switch t {
+	case Int64:
+		f.arenaI = GetInt64(int(total))
+		err = readPayload(r, f.arenaI, func(b []byte) int64 {
+			return int64(binary.LittleEndian.Uint64(b))
+		})
+		if err == nil {
+			f.Ints = split(f.arenaI, lengths)
+		}
+	case Float64:
+		f.arenaF = GetFloat64(int(total))
+		err = readPayload(r, f.arenaF, func(b []byte) float64 {
+			return math.Float64frombits(binary.LittleEndian.Uint64(b))
+		})
+		if err == nil {
+			f.Floats = split(f.arenaF, lengths)
+		}
+	}
+	if err == nil {
+		err = expectEOF(r)
+	}
+	if err != nil {
+		f.Release()
+		return nil, err
+	}
+	return f, nil
+}
+
+// readPayload streams len(dst)*8 bytes from r through a pooled chunk
+// into dst.
+func readPayload[T int64 | float64](r io.Reader, dst []T, from func([]byte) T) error {
+	if len(dst) == 0 {
+		return nil
+	}
+	bp := chunkPool.Get().(*[]byte)
+	defer chunkPool.Put(bp)
+	buf := *bp
+	for idx := 0; idx < len(dst); {
+		c := (len(dst) - idx) * 8
+		if c > chunkBytes {
+			c = chunkBytes
+		}
+		if _, err := io.ReadFull(r, buf[:c]); err != nil {
+			return truncated(err)
+		}
+		for off := 0; off < c; off += 8 {
+			dst[idx] = from(buf[off : off+8])
+			idx++
+		}
+	}
+	return nil
+}
+
+// expectEOF asserts the reader is exhausted.
+func expectEOF(r io.Reader) error {
+	var one [1]byte
+	switch _, err := io.ReadFull(r, one[:]); err {
+	case io.EOF:
+		return nil
+	case nil:
+		return ErrTrailing
+	default:
+		return err
+	}
+}
+
+// split cuts an arena into per-list views without copying.
+func split[T any](arena []T, lengths []int) [][]T {
+	lists := make([][]T, len(lengths))
+	off := 0
+	for i, l := range lengths {
+		lists[i] = arena[off : off+l : off+l]
+		off += l
+	}
+	return lists
+}
+
+// Size reports the encoded byte size of a frame carrying lists of the
+// given element counts — header, length table and payload. Use it for
+// Content-Length before Encode.
+func Size(listLens ...int) int64 {
+	total := int64(0)
+	for _, l := range listLens {
+		total += int64(l)
+	}
+	return headerSize + 8*int64(len(listLens)) + 8*total
+}
+
+// EncodeInt64 writes one Int64 frame carrying the given lists to w,
+// streaming through a pooled chunk (no whole-payload buffer).
+func EncodeInt64(w io.Writer, lists ...[]int64) error {
+	return encode(w, Int64, lists, func(b []byte, v int64) {
+		binary.LittleEndian.PutUint64(b, uint64(v))
+	})
+}
+
+// EncodeFloat64 writes one Float64 frame carrying the given lists to w.
+func EncodeFloat64(w io.Writer, lists ...[]float64) error {
+	return encode(w, Float64, lists, func(b []byte, v float64) {
+		binary.LittleEndian.PutUint64(b, math.Float64bits(v))
+	})
+}
+
+func encode[T int64 | float64](w io.Writer, t Type, lists [][]T, put func([]byte, T)) error {
+	if len(lists) > math.MaxUint16 {
+		return fmt.Errorf("%w: %d > %d", ErrTooManyLists, len(lists), math.MaxUint16)
+	}
+	bp := chunkPool.Get().(*[]byte)
+	defer chunkPool.Put(bp)
+	buf := *bp
+	// Header + length table first; the table fits the chunk only up to
+	// ~8K lists, so flush it in chunk-sized pieces like the payload.
+	copy(buf, magic[:])
+	buf[4] = Version
+	buf[5] = byte(t)
+	binary.LittleEndian.PutUint16(buf[6:8], uint16(len(lists)))
+	fill := headerSize
+	flush := func(need int) error {
+		if fill+need <= chunkBytes {
+			return nil
+		}
+		_, err := w.Write(buf[:fill])
+		fill = 0
+		return err
+	}
+	for _, list := range lists {
+		if err := flush(8); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(buf[fill:], uint64(len(list)))
+		fill += 8
+	}
+	for _, list := range lists {
+		for _, v := range list {
+			if err := flush(8); err != nil {
+				return err
+			}
+			put(buf[fill:fill+8], v)
+			fill += 8
+		}
+	}
+	if fill > 0 {
+		if _, err := w.Write(buf[:fill]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AppendInt64 encodes an Int64 frame into a byte slice (appended to
+// dst) — the convenience path for clients and tests that want a body
+// []byte rather than a stream.
+func AppendInt64(dst []byte, lists ...[]int64) []byte {
+	var sb sliceBuf
+	sb.b = dst
+	_ = EncodeInt64(&sb, lists...)
+	return sb.b
+}
+
+// AppendFloat64 encodes a Float64 frame into a byte slice appended to
+// dst.
+func AppendFloat64(dst []byte, lists ...[]float64) []byte {
+	var sb sliceBuf
+	sb.b = dst
+	_ = EncodeFloat64(&sb, lists...)
+	return sb.b
+}
+
+type sliceBuf struct{ b []byte }
+
+func (s *sliceBuf) Write(p []byte) (int, error) {
+	s.b = append(s.b, p...)
+	return len(p), nil
+}

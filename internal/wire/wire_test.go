@@ -1,0 +1,211 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+)
+
+func TestRoundTripInt64(t *testing.T) {
+	cases := [][][]int64{
+		{},
+		{{}},
+		{{42}},
+		{{1, 2, 3}, {4, 5}},
+		{{}, {1}, {}},
+		{{math.MinInt64, -1, 0, 1, math.MaxInt64}},
+	}
+	for _, lists := range cases {
+		var buf bytes.Buffer
+		if err := EncodeInt64(&buf, lists...); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		if got, want := int64(buf.Len()), Size(lens(lists)...); got != want {
+			t.Fatalf("Size=%d but encoded %d bytes", want, got)
+		}
+		f, err := Decode(&buf, Limits{})
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if f.Type != Int64 {
+			t.Fatalf("type = %v", f.Type)
+		}
+		if len(f.Ints) != len(lists) {
+			t.Fatalf("lists = %d, want %d", len(f.Ints), len(lists))
+		}
+		for i := range lists {
+			if !equal(f.Ints[i], lists[i]) {
+				t.Fatalf("list %d = %v, want %v", i, f.Ints[i], lists[i])
+			}
+		}
+		f.Release()
+	}
+}
+
+func TestRoundTripFloat64(t *testing.T) {
+	lists := [][]float64{
+		{-math.MaxFloat64, -1.5, 0, math.SmallestNonzeroFloat64, math.Inf(1)},
+		{math.NaN()},
+		{},
+	}
+	var buf bytes.Buffer
+	if err := EncodeFloat64(&buf, lists...); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	f, err := Decode(&buf, Limits{})
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	defer f.Release()
+	if f.Type != Float64 || len(f.Floats) != 3 {
+		t.Fatalf("got type %v, %d lists", f.Type, len(f.Floats))
+	}
+	for i := range lists {
+		if len(f.Floats[i]) != len(lists[i]) {
+			t.Fatalf("list %d length %d, want %d", i, len(f.Floats[i]), len(lists[i]))
+		}
+		for j := range lists[i] {
+			// Bit-exact comparison so NaN round-trips count as equal.
+			if math.Float64bits(f.Floats[i][j]) != math.Float64bits(lists[i][j]) {
+				t.Fatalf("list %d[%d] = %v, want %v", i, j, f.Floats[i][j], lists[i][j])
+			}
+		}
+	}
+}
+
+// TestRoundTripLarge crosses several chunk boundaries in both
+// directions.
+func TestRoundTripLarge(t *testing.T) {
+	n := chunkBytes/8*3 + 17
+	a := make([]int64, n)
+	for i := range a {
+		a[i] = int64(i * 3)
+	}
+	var buf bytes.Buffer
+	if err := EncodeInt64(&buf, a, a[:5]); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	f, err := Decode(&buf, Limits{})
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	defer f.Release()
+	if !equal(f.Ints[0], a) || !equal(f.Ints[1], a[:5]) {
+		t.Fatal("large round trip mismatch")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	valid := AppendInt64(nil, []int64{1, 2}, []int64{3})
+	cases := []struct {
+		name string
+		body []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short header", valid[:5], ErrTruncated},
+		{"bad magic", append([]byte("NOPE"), valid[4:]...), ErrMagic},
+		{"bad version", mutate(valid, 4, 9), ErrVersion},
+		{"bad type", mutate(valid, 5, 7), ErrType},
+		{"truncated table", valid[:headerSize+3], ErrTruncated},
+		{"truncated payload", valid[:len(valid)-1], ErrTruncated},
+		{"trailing bytes", append(append([]byte{}, valid...), 0), ErrTrailing},
+	}
+	for _, tc := range cases {
+		f, err := Decode(bytes.NewReader(tc.body), Limits{})
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+		if f != nil {
+			t.Errorf("%s: non-nil frame on error", tc.name)
+		}
+	}
+}
+
+// TestDecodeLimit proves an absurd length table is rejected before any
+// payload allocation: the limit error arrives from an 24-byte body that
+// claims 2^60 elements.
+func TestDecodeLimit(t *testing.T) {
+	body := AppendInt64(nil, []int64{1, 2, 3})
+	huge := mutateLen(body, 0, 1<<60)
+	if _, err := Decode(bytes.NewReader(huge), Limits{}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+	// A wrapping sum of lengths must not sneak under the limit.
+	two := AppendInt64(nil, []int64{1}, []int64{2})
+	two = mutateLen(two, 0, math.MaxUint64)
+	two = mutateLen(two, 1, 2)
+	if _, err := Decode(bytes.NewReader(two), Limits{}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("overflow err = %v, want ErrTooLarge", err)
+	}
+	// A tight explicit limit applies too.
+	if _, err := Decode(bytes.NewReader(body), Limits{MaxElements: 2}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("tight limit err = %v, want ErrTooLarge", err)
+	}
+	if f, err := Decode(bytes.NewReader(body), Limits{MaxElements: 3}); err != nil {
+		t.Fatalf("at-limit decode: %v", err)
+	} else {
+		f.Release()
+	}
+}
+
+func TestPoolReuse(t *testing.T) {
+	s := GetInt64(100)
+	for i := range s {
+		s[i] = int64(i)
+	}
+	PutInt64(s)
+	s2 := GetInt64(50)
+	if len(s2) != 50 {
+		t.Fatalf("len = %d", len(s2))
+	}
+	PutInt64(s2)
+	// Oversized arenas are not retained.
+	big := make([]int64, maxPooledCap+1)
+	PutInt64(big)
+}
+
+func TestEncodeTooManyLists(t *testing.T) {
+	lists := make([][]int64, math.MaxUint16+1)
+	if err := EncodeInt64(io.Discard, lists...); !errors.Is(err, ErrTooManyLists) {
+		t.Fatalf("err = %v, want ErrTooManyLists", err)
+	}
+}
+
+func lens[T any](lists [][]T) []int {
+	ns := make([]int, len(lists))
+	for i, l := range lists {
+		ns[i] = len(l)
+	}
+	return ns
+}
+
+func equal(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func mutate(b []byte, idx int, v byte) []byte {
+	out := append([]byte{}, b...)
+	out[idx] = v
+	return out
+}
+
+// mutateLen overwrites the idx-th entry of the length table.
+func mutateLen(b []byte, idx int, v uint64) []byte {
+	out := append([]byte{}, b...)
+	off := headerSize + 8*idx
+	for i := 0; i < 8; i++ {
+		out[off+i] = byte(v >> (8 * i))
+	}
+	return out
+}

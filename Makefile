@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify cover bench experiments fmt serve loadtest loadtest-wire chaos soak lint-docs fuzz-wire cluster cluster-quick jobs-soak jobs-soak-quick
+.PHONY: all build vet test race verify cover bench bench-kway experiments fmt serve loadtest loadtest-wire chaos soak lint-docs fuzz-wire kway-diff cluster cluster-quick jobs-soak jobs-soak-quick
 
 all: build vet test
 
@@ -29,7 +29,15 @@ lint-docs:
 		./internal/batch ./internal/stats ./internal/overload \
 		./internal/resilience ./internal/router ./internal/promtext \
 		./internal/jobs ./internal/extsort ./internal/wire \
-		./cmd/mergerouter
+		./internal/kway ./cmd/mergerouter
+
+# Quick k-way differential: every strategy (heap, tree, co-rank) must be
+# byte-identical to the sequential heap baseline across k x sizes x
+# duplicate densities, and the co-rank cuts must satisfy their
+# invariants (sum to rank, pairwise order, monotone windows). See
+# docs/KWAY.md for the algorithm these tests pin.
+kway-diff:
+	$(GO) test -run 'TestMergeIntoMatchesHeap|TestCoRank' -count=1 ./internal/kway
 
 # Short coverage-guided fuzz of the binary frame decoder: truncated,
 # oversized and corrupt frames must error cleanly (no panic, no
@@ -47,13 +55,21 @@ fuzz-wire:
 # cancels + GC under fault injection, -race). The longer overload/breaker
 # soak is its own target (`make soak`); the multi-process cluster is
 # `make cluster`; the extended jobs soak is `make jobs-soak`.
-verify: build vet test lint-docs race fuzz-wire chaos cluster-quick jobs-soak-quick
+verify: build vet test lint-docs kway-diff race fuzz-wire chaos cluster-quick jobs-soak-quick
 
 cover:
 	$(GO) test -cover ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# K-way strategy comparison (heap vs tree vs co-rank at k=4/16/64 over a
+# fixed 1M-element output) plus the co-rank partitioner in isolation and
+# the external-sort fan-in delta.
+bench-kway:
+	$(GO) test -bench 'BenchmarkKWayStrategies|BenchmarkCoRankSearch' -benchmem ./internal/kway
+	$(GO) test -bench BenchmarkGatherStrategies -benchmem -run xxx ./internal/router
+	$(GO) test -bench BenchmarkSortFanInStrategies -benchmem ./internal/extsort
 
 # Regenerate every table of EXPERIMENTS.md (laptop-scale sizes).
 experiments:

@@ -39,6 +39,7 @@ import (
 
 	"mergepath/internal/fault"
 	"mergepath/internal/jobs"
+	"mergepath/internal/kway"
 	"mergepath/internal/overload"
 	"mergepath/internal/server"
 )
@@ -68,8 +69,15 @@ func main() {
 		jobQueue       = flag.Int("job-queue", 8, "max jobs waiting to run (full queue sheds with 503)")
 		jobTTL         = flag.Duration("job-ttl", 10*time.Minute, "TTL for finished job state/results and idle datasets")
 		jobFanIn       = flag.Int("job-fan-in", 0, "external-sort merge fan-in (0 = engine default)")
+
+		kwayStrategy = flag.String("kway-strategy", "auto", "k-way merge strategy for /v1/mergek and job fan-in: auto, heap, tree or corank (docs/KWAY.md)")
 	)
 	flag.Parse()
+
+	kstrat, err := kway.ParseStrategy(*kwayStrategy)
+	if err != nil {
+		log.Fatalf("-kway-strategy: %v", err)
+	}
 
 	var inj *fault.Injector
 	if *faultSpec != "" {
@@ -92,9 +100,10 @@ func main() {
 			Target:   *overloadTarget,
 			Interval: *overloadInterval,
 		},
-		StrictInput: *strictInput,
-		Fault:       inj,
-		AccessLog:   *accessLog,
+		StrictInput:  *strictInput,
+		Fault:        inj,
+		AccessLog:    *accessLog,
+		KWayStrategy: kstrat,
 		Jobs: jobs.Config{
 			Dir:           *spillDir,
 			MemoryRecords: *jobMemory,
@@ -102,6 +111,7 @@ func main() {
 			MaxQueued:     *jobQueue,
 			TTL:           *jobTTL,
 			FanIn:         *jobFanIn,
+			KWay:          kstrat,
 		},
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s}

@@ -43,6 +43,11 @@ type Config struct {
 	// and phase names the current phase ("run_formation", "merge",
 	// "copyback"). Called from the sorting goroutine; keep it cheap.
 	Progress func(done, total int64, phase string)
+	// KWay selects the in-window k-way merge strategy used by the fan-in
+	// phase: kway.StrategyAuto (the zero value) picks per round by run
+	// count and window size, the rest force heap, tree or corank (see
+	// docs/KWAY.md). Output bytes are identical for every choice.
+	KWay kway.Strategy
 }
 
 // Stats reports what an external sort did.
@@ -63,6 +68,11 @@ type Stats struct {
 	// the engine had allocated at any point — the measured side of the
 	// MemoryRecords contract (always <= MemoryRecords).
 	PeakBufferRecords int `json:"peak_buffer_records"`
+	// KWayImbalanceMax is the worst per-worker window imbalance ratio of
+	// any co-rank in-window merge this sort ran (the k-way Theorem 5
+	// check; ~1.0 by construction). Zero when no co-rank round ran —
+	// the heap or tree strategies report no per-worker loads.
+	KWayImbalanceMax float64 `json:"kway_imbalance_max,omitempty"`
 }
 
 // sorter carries one Sort invocation's state.
@@ -73,7 +83,8 @@ type sorter[T cmp.Ordered] struct {
 	window  int // per-run merge window, MemoryRecords/(3*fanIn)
 	done    int64
 	total   int64
-	peak    int // PeakBufferRecords accumulator
+	peak    int     // PeakBufferRecords accumulator
+	kwayImb float64 // KWayImbalanceMax accumulator
 }
 
 // note records a buffer allocation high-water mark of n records.
@@ -238,6 +249,7 @@ func Sort[T cmp.Ordered](ctx context.Context, dev, scratch Device[T], n int, cfg
 		stats.BlockWrites += scrW1 - scrW0
 	}
 	stats.PeakBufferRecords = s.peak
+	stats.KWayImbalanceMax = s.kwayImb
 	return stats, nil
 }
 
@@ -362,7 +374,10 @@ func (s *sorter[T]) mergeGroup(ctx context.Context, src, dst Device[T], spans []
 		// At least the bound-attaining run's whole window is emitted, so
 		// every round makes progress.
 		out := outBuf[:steps]
-		kway.MergeInto(out, prefixes, s.workers)
+		_, st := kway.MergeIntoStats(out, prefixes, s.workers, s.cfg.KWay)
+		if st.Imbalance > s.kwayImb {
+			s.kwayImb = st.Imbalance
+		}
 		if err := dst.Write(outPos, out); err != nil {
 			return err
 		}

@@ -244,24 +244,81 @@ func WindowSweep(opt Options) *Table {
 	return t
 }
 
-// KWay benches the k-way tree-of-merge-paths against the sequential heap
-// merge (extension experiment).
-func KWay(opt Options) *Table {
-	t := NewTable("Extension — k-way merge: merge-path tree vs heap",
-		"k", "p", "tree", "heap", "speedup")
-	n := opt.Sizes[0]
-	for _, k := range []int{4, 16, 64} {
-		lists := make([][]int32, k)
+// kwayLists builds k sorted runs totalling ~n elements in the named
+// skew: "uniform" (independent uniform runs), "dups" (4 distinct
+// values — every merge step is a tie), "presorted" (disjoint ascending
+// ranges, so the merged output is the concatenation) and "onelong"
+// (one run holds ~90% of the data, the rest split the remainder).
+func kwayLists(k, n int, skew string, seed int64) [][]int32 {
+	lists := make([][]int32, k)
+	switch skew {
+	case "dups":
 		for i := range lists {
-			la, _ := workload.Pair(workload.Uniform, n/k, 0, opt.Seed+int64(i))
+			la, _ := workload.Pair(workload.Duplicates, n/k, 0, seed+int64(i))
 			lists[i] = la
 		}
-		heapTime := stats.Measure(opt.Warmup, opt.Reps, func() { kway.HeapMerge(lists) }).Median()
-		for _, p := range []int{1, 4, 8} {
-			tree := stats.Measure(opt.Warmup, opt.Reps, func() { kway.Merge(lists, p) }).Median()
-			t.Addf(k, p, tree.String(), heapTime.String(), stats.Speedup(heapTime, tree))
+	case "presorted":
+		for i := range lists {
+			la, _ := workload.Pair(workload.Uniform, n/k, 0, seed+int64(i))
+			off := int32(i) * (1 << 21) // disjoint value ranges in list order
+			for j := range la {
+				la[j] = la[j]%(1<<20) + off
+			}
+			lists[i] = la
+		}
+	case "onelong":
+		long := n * 9 / 10
+		rest := (n - long) / (k - 1)
+		for i := range lists {
+			sz := rest
+			if i == 0 {
+				sz = long
+			}
+			la, _ := workload.Pair(workload.Uniform, sz, 0, seed+int64(i))
+			lists[i] = la
+		}
+	default: // uniform
+		for i := range lists {
+			la, _ := workload.Pair(workload.Uniform, n/k, 0, seed+int64(i))
+			lists[i] = la
 		}
 	}
+	return lists
+}
+
+// KWay benches the three k-way merge strategies — sequential heap,
+// merge-path tree, co-ranking windows — across k and input skews, with
+// the co-rank per-worker imbalance in the last column (extension
+// experiment; algorithms in docs/KWAY.md).
+func KWay(opt Options) *Table {
+	t := NewTable("Extension — k-way merge strategies: heap vs tree vs co-rank",
+		"k", "skew", "p", "heap", "tree", "corank", "corank-vs-heap", "imbalance")
+	n := opt.Sizes[0]
+	for _, k := range []int{4, 16, 64} {
+		for _, skew := range []string{"uniform", "dups", "presorted", "onelong"} {
+			lists := kwayLists(k, n, skew, opt.Seed)
+			total := 0
+			for _, l := range lists {
+				total += len(l)
+			}
+			dst := make([]int32, total)
+			heapTime := stats.Measure(opt.Warmup, opt.Reps, func() {
+				kway.MergeIntoStats(dst, lists, 1, kway.StrategyHeap)
+			}).Median()
+			for _, p := range []int{1, 4} {
+				tree := stats.Measure(opt.Warmup, opt.Reps, func() {
+					kway.MergeIntoStats(dst, lists, p, kway.StrategyTree)
+				}).Median()
+				var st kway.Stats
+				corank := stats.Measure(opt.Warmup, opt.Reps, func() {
+					_, st = kway.MergeIntoStats(dst, lists, p, kway.StrategyCoRank)
+				}).Median()
+				t.Addf(k, skew, p, heapTime.String(), tree.String(), corank.String(),
+					stats.Speedup(heapTime, corank), fmt.Sprintf("%.3f", st.Imbalance))
+			}
+		}
+	}
+	t.Note = "Imbalance is max/mean elements per co-rank window (Theorem 5 extended to k runs); ~1.0 on every row by construction."
 	return t
 }
 

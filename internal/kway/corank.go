@@ -1,0 +1,163 @@
+package kway
+
+import (
+	"cmp"
+	"sort"
+)
+
+// Multi-way co-ranking: cut k sorted runs at one output rank without
+// merging anything. This generalizes the paper's two-array diagonal
+// search (Theorem 14 / the co-rank Point of internal/core) from a
+// one-dimensional binary search along a cross diagonal to a k-dimensional
+// search over the product of run indices, following the index-space
+// partitioning idea of "Multi-Way Co-Ranking: Index-Space Partitioning of
+// Sorted Sequences Without Merge" (arXiv 2510.22882). docs/KWAY.md holds
+// the full invariant statement and the balance proof sketch.
+//
+// The output order every cut respects is the package's stability
+// contract: elements compare by value, then source-list index, then
+// position — exactly the order Merge, HeapMerge and Iter emit.
+
+// CoRank computes the cut indices c[0..k-1] that split k sorted lists at
+// output rank r: c[i] elements of lists[i] belong to the first r elements
+// of the stable k-way merged output, with sum(c) == r. No merging is
+// performed and no list is modified. The cut is unique under the
+// package's tie rule (equal elements ordered by list index, then
+// position), and satisfies the pairwise partition invariant
+//
+//	c[i] > 0 && c[j] < len(lists[j])  =>  lists[i][c[i]-1] "precedes"
+//	                                      lists[j][c[j]]
+//
+// where "precedes" is (value, list index) lexicographic order — the
+// k-way generalization of core.SearchDiagonal's two-array invariant.
+// Because prefix sets at increasing ranks are nested, cuts taken at a
+// sequence of ranks are componentwise monotone: the windows between
+// consecutive cuts are disjoint and cover every input element exactly
+// once. CoRank panics if r is negative or exceeds the total input
+// length.
+//
+// Cost: O(k·log k·log N + k·log n·log N) comparisons where n is the
+// longest run and N the total length — each probe is a weighted-median
+// pivot that discards at least a quarter of the remaining index
+// uncertainty (see docs/KWAY.md for the argument).
+func CoRank[T cmp.Ordered](lists [][]T, r int) []int {
+	return coRank(lists, r, cmp.Less[T])
+}
+
+// CoRankFunc is CoRank under a caller-supplied strict weak ordering,
+// with the same tie rule on equal elements (list index, then position).
+func CoRankFunc[T any](lists [][]T, r int, less func(x, y T) bool) []int {
+	return coRank(lists, r, less)
+}
+
+// coRank is the shared search. It maintains, per list, a feasible cut
+// interval [lo_i, hi_i] bracketing the true cut, and repeatedly probes
+// the weighted median of the interval midpoints: ranking one concrete
+// pivot element places every list's cut on one side of it, so each
+// probe narrows all k intervals at once and retires at least a quarter
+// of their combined length.
+func coRank[T any](lists [][]T, r int, less func(x, y T) bool) []int {
+	k := len(lists)
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	if r < 0 || r > total {
+		panic("kway: co-rank target outside the merged output")
+	}
+	lo := make([]int, k)
+	hi := make([]int, k)
+	for i, l := range lists {
+		// Feasible cuts: even if every other list contributes all of
+		// itself, list i must still supply r - (total - len(l)); it can
+		// never supply more than min(len(l), r).
+		if low := r - (total - len(l)); low > 0 {
+			lo[i] = low
+		}
+		hi[i] = len(l)
+		if hi[i] > r {
+			hi[i] = r
+		}
+	}
+	type probe struct {
+		list, mid, weight int
+	}
+	probes := make([]probe, 0, k)
+	counts := make([]int, k)
+	for {
+		probes = probes[:0]
+		totalW := 0
+		for i := range lists {
+			if w := hi[i] - lo[i]; w > 0 {
+				probes = append(probes, probe{list: i, mid: int(uint(lo[i]+hi[i]) >> 1), weight: w})
+				totalW += w
+			}
+		}
+		if totalW == 0 {
+			break // every interval collapsed: lo is the cut
+		}
+		// Pivot = weighted median of the midpoint elements under the
+		// output order. Sorting k candidates costs O(k log k); k is the
+		// run count, tiny next to the runs themselves.
+		sort.Slice(probes, func(x, y int) bool {
+			px, py := probes[x], probes[y]
+			vx, vy := lists[px.list][px.mid], lists[py.list][py.mid]
+			if less(vx, vy) {
+				return true
+			}
+			if less(vy, vx) {
+				return false
+			}
+			return px.list < py.list
+		})
+		var pv probe
+		for acc, i := 0, 0; i < len(probes); i++ {
+			acc += probes[i].weight
+			if 2*acc >= totalW {
+				pv = probes[i]
+				break
+			}
+		}
+		m, pos := pv.list, pv.mid
+		v := lists[m][pos]
+		// Rank the pivot element (v, m, pos): per list, how many
+		// elements are at or before it in the output order. Ties
+		// resolve by list index, so lists below m count elements <= v
+		// and lists above m count elements < v; within list m the
+		// position answers directly.
+		n := 0
+		for j, l := range lists {
+			var c int
+			switch {
+			case j == m:
+				c = pos + 1
+			case j < m:
+				c = sort.Search(len(l), func(i int) bool { return less(v, l[i]) })
+			default:
+				c = sort.Search(len(l), func(i int) bool { return !less(l[i], v) })
+			}
+			counts[j] = c
+			n += c
+		}
+		if n <= r {
+			// The pivot is inside the prefix, and so is everything at
+			// or before it: raise every floor.
+			for j := range lists {
+				if counts[j] > lo[j] {
+					lo[j] = counts[j]
+				}
+			}
+		} else {
+			// The pivot is past the prefix, and so is everything at or
+			// after it: lower every ceiling. In the pivot's own list
+			// the pivot itself is the first excluded element.
+			counts[m] = pos
+			for j := range lists {
+				if counts[j] < hi[j] {
+					hi[j] = counts[j]
+				}
+			}
+		}
+	}
+	return lo
+}

@@ -1,0 +1,59 @@
+package kway
+
+import (
+	"testing"
+)
+
+// FuzzCoRank decodes arbitrary bytes into k sorted runs plus a target
+// rank and checks cut-index validity: cuts stay in bounds, sum to the
+// target rank, satisfy the pairwise partition invariant, and the
+// windows between cuts at consecutive ranks are disjoint and cover
+// every element. Run via `go test -fuzz FuzzCoRank ./internal/kway`.
+func FuzzCoRank(f *testing.F) {
+	f.Add([]byte{3, 1, 2, 3, 4, 5, 6}, uint16(3))
+	f.Add([]byte{1}, uint16(0))
+	f.Add([]byte{5, 9, 9, 9, 9, 9, 9, 9, 9}, uint16(7))
+	f.Add([]byte{0}, uint16(0))
+	f.Fuzz(func(t *testing.T, raw []byte, rankSeed uint16) {
+		if len(raw) == 0 {
+			return
+		}
+		k := int(raw[0])%8 + 1
+		raw = raw[1:]
+		lists := make([][]int32, k)
+		for i := range lists {
+			n := len(raw) / (k - i)
+			chunk := raw[:n]
+			raw = raw[n:]
+			l := make([]int32, len(chunk))
+			for j, b := range chunk {
+				l[j] = int32(b) % 16 // small domain: force ties
+			}
+			insertion(l)
+			lists[i] = l
+		}
+		total := 0
+		for _, l := range lists {
+			total += len(l)
+		}
+		r := int(rankSeed) % (total + 1)
+		assertValidCuts(t, lists, r, CoRank(lists, r))
+		// Disjoint-and-covering across consecutive ranks: monotone
+		// componentwise, ending exactly at the list lengths.
+		prev := make([]int, k)
+		for _, rr := range []int{total / 4, total / 2, total} {
+			cuts := CoRank(lists, rr)
+			for i := range cuts {
+				if cuts[i] < prev[i] {
+					t.Fatalf("cuts regress at rank %d: %v after %v", rr, cuts, prev)
+				}
+			}
+			prev = cuts
+		}
+		for i := range prev {
+			if prev[i] != len(lists[i]) {
+				t.Fatalf("windows do not cover list %d: %v", i, prev)
+			}
+		}
+	})
+}

@@ -1,10 +1,23 @@
-// Package kway builds k-way merging out of the paper's pairwise parallel
-// merge — the "later rounds" structure of merge sort that motivates the
-// paper's introduction, packaged as a standalone utility (merging sorted
-// runs from k producers: log-structured storage compactions, sharded log
-// replay, external sort phases). A binary tree of merge-path merges does
-// O(N·log k) total work with every level fully parallel; a sequential
-// loser-tree heap merge is included as the classic baseline.
+// Package kway builds k-way merging out of the paper's machinery — the
+// "later rounds" structure of merge sort that motivates the paper's
+// introduction, packaged as a standalone utility (merging sorted runs
+// from k producers: log-structured storage compactions, sharded log
+// replay, external sort phases). Three strategies share one stability
+// contract (equal elements ordered by source-list index, then
+// position) and produce byte-identical output:
+//
+//   - co-ranking (the default for large merges): CoRank cuts the k runs
+//     at p equispaced output ranks without merging — the k-way
+//     generalization of the paper's Theorem 5 two-array partition — so
+//     p workers each merge a disjoint window lock-free in a single
+//     pass: O(N) data movement, per-worker loads balanced to within one
+//     element;
+//   - a binary tree of pairwise merge-path merges: every level fully
+//     parallel, O(N·log k) total data movement;
+//   - a sequential cursor-heap merge, the classic O(N·log k) baseline.
+//
+// See docs/KWAY.md for the co-ranking invariants, the balance proof
+// sketch and strategy-selection guidance.
 package kway
 
 import (
@@ -14,10 +27,10 @@ import (
 	"mergepath/internal/core"
 )
 
-// Merge merges k sorted lists into a single sorted slice using rounds of
-// pairwise merge-path merges, with p workers shared across each round's
-// merges. Stability: the result orders equal elements by source list
-// index, then by position — the same guarantee sort.Stable would give on a
+// Merge merges k sorted lists into a single sorted slice, picking the
+// strategy automatically (see StrategyAuto) with p workers. Stability:
+// the result orders equal elements by source list index, then by
+// position — the same guarantee sort.Stable would give on a
 // concatenation.
 func Merge[T cmp.Ordered](lists [][]T, p int) []T {
 	if p < 1 {
@@ -34,40 +47,45 @@ func Merge[T cmp.Ordered](lists [][]T, p int) []T {
 }
 
 // MergeInto is Merge writing its result into a caller-supplied buffer:
-// dst must have len ≥ the total element count of lists, and the merged
-// output is returned as dst[:total]. The final merge round targets dst
-// directly, so a caller that already owns the response buffer (the
-// mergerouter gather stage, pooled arenas) saves the last full-size
-// allocation+copy. Intermediate rounds still allocate scratch; lists
-// are never modified. dst must not alias any input list.
+// dst must have len >= the total element count of lists, and the merged
+// output is returned as dst[:total]. All strategies write the final
+// merge straight into dst, so a caller that already owns the response
+// buffer (the mergerouter gather stage, pooled arenas) never pays a
+// full-size allocation+copy; the tree strategy keeps a single flip-flop
+// scratch buffer across its intermediate rounds. Lists are never
+// modified. dst must not alias any input list.
+//
+// MergeInto runs StrategyAuto; use MergeIntoStats to pin a strategy or
+// observe per-worker load stats.
 func MergeInto[T cmp.Ordered](dst []T, lists [][]T, p int) []T {
-	if p < 1 {
-		panic("kway: worker count must be positive")
+	out, _ := MergeIntoStats(dst, lists, p, StrategyAuto)
+	return out
+}
+
+// treeMerge runs the binary tree of pairwise merges into dst using at
+// most one scratch buffer: rounds alternate between scratch and dst
+// (flip-flop), with the parity chosen so the last round lands on dst.
+// Round r+2 may overwrite round r's buffer because round r+1 already
+// consumed it. merge performs one pairwise merge with the given worker
+// count; its first input is always the lower-indexed subtree, which is
+// what preserves the cross-list tie rule through the tree.
+func treeMerge[T any](dst []T, lists [][]T, p int, merge func(a, b, out []T, workers int)) {
+	total := len(dst)
+	runs := append(make([][]T, 0, len(lists)), lists...)
+	rounds := 0
+	for n := len(runs); n > 1; n = (n + 1) / 2 {
+		rounds++
 	}
-	total := 0
-	runs := make([][]T, 0, len(lists))
-	for _, l := range lists {
-		total += len(l)
-		runs = append(runs, l)
+	var scratch []T
+	if rounds > 1 {
+		scratch = make([]T, total)
 	}
-	if len(dst) < total {
-		panic("kway: destination shorter than total input length")
-	}
-	dst = dst[:total]
-	if len(runs) == 0 {
-		return dst
-	}
-	if len(runs) == 1 {
-		copy(dst, runs[0])
-		return dst
-	}
+	round := 0
 	for len(runs) > 1 {
-		// Each round writes into a fresh backing array (the final round
-		// into dst); inputs (slices of the previous round's array or the
-		// caller's lists) stay intact.
+		round++
 		buf := dst
-		if len(runs) > 2 {
-			buf = make([]T, total)
+		if (rounds-round)%2 == 1 {
+			buf = scratch
 		}
 		pairs := len(runs) / 2
 		next := make([][]T, 0, (len(runs)+1)/2)
@@ -94,7 +112,7 @@ func MergeInto[T cmp.Ordered](dst []T, lists [][]T, p int) []T {
 		done := make(chan struct{})
 		for _, j := range jobs {
 			go func(j job) {
-				core.ParallelMerge(j.a, j.b, j.out, perMerge)
+				merge(j.a, j.b, j.out, perMerge)
 				done <- struct{}{}
 			}(j)
 		}
@@ -103,7 +121,6 @@ func MergeInto[T cmp.Ordered](dst []T, lists [][]T, p int) []T {
 		}
 		runs = next
 	}
-	return runs[0]
 }
 
 // heapItem is one cursor into a source list.
@@ -133,8 +150,9 @@ func (h *mergeHeap[T]) Pop() interface{} {
 }
 
 // HeapMerge merges k sorted lists sequentially with a binary heap — the
-// O(N·log k) classic that the tree-of-merge-paths variant is benchmarked
-// against. Stable in the same sense as Merge.
+// O(N·log k) classic that the tree and co-rank strategies are
+// benchmarked (and property-tested) against. Stable in the same sense
+// as Merge.
 func HeapMerge[T cmp.Ordered](lists [][]T) []T {
 	total := 0
 	h := make(mergeHeap[T], 0, len(lists))
@@ -160,61 +178,29 @@ func HeapMerge[T cmp.Ordered](lists [][]T) []T {
 	return out
 }
 
-// MergeFunc is Merge under a caller-supplied strict weak ordering. The
-// cross-list tie rule matches Merge: lower list index wins. (The pairing
-// tree preserves it because round r merges neighbouring subtrees with the
-// lower-indexed one as the tie-winning first input.)
+// MergeFunc is Merge under a caller-supplied strict weak ordering,
+// using the tree strategy. The cross-list tie rule matches Merge: lower
+// list index wins. (The pairing tree preserves it because round r
+// merges neighbouring subtrees with the lower-indexed one as the
+// tie-winning first input.)
 func MergeFunc[T any](lists [][]T, p int, less func(x, y T) bool) []T {
 	if p < 1 {
 		panic("kway: worker count must be positive")
 	}
 	total := 0
-	runs := make([][]T, 0, len(lists))
 	for _, l := range lists {
 		total += len(l)
-		runs = append(runs, l)
 	}
-	if len(runs) == 0 {
+	if len(lists) == 0 {
 		return nil
 	}
-	if len(runs) == 1 {
-		return append([]T(nil), runs[0]...)
+	dst := make([]T, total)
+	if len(lists) == 1 {
+		copy(dst, lists[0])
+		return dst
 	}
-	for len(runs) > 1 {
-		buf := make([]T, total)
-		pairs := len(runs) / 2
-		next := make([][]T, 0, (len(runs)+1)/2)
-		perMerge := p / pairs
-		if perMerge < 1 {
-			perMerge = 1
-		}
-		type job struct{ a, b, out []T }
-		jobs := make([]job, 0, pairs)
-		offset := 0
-		for m := 0; m < pairs; m++ {
-			a, b := runs[2*m], runs[2*m+1]
-			out := buf[offset : offset+len(a)+len(b)]
-			offset += len(a) + len(b)
-			jobs = append(jobs, job{a, b, out})
-			next = append(next, out)
-		}
-		if len(runs)%2 == 1 {
-			last := runs[len(runs)-1]
-			out := buf[offset : offset+len(last)]
-			copy(out, last)
-			next = append(next, out)
-		}
-		done := make(chan struct{})
-		for _, j := range jobs {
-			go func(j job) {
-				core.ParallelMergeFunc(j.a, j.b, j.out, perMerge, less)
-				done <- struct{}{}
-			}(j)
-		}
-		for range jobs {
-			<-done
-		}
-		runs = next
-	}
-	return runs[0]
+	treeMerge(dst, lists, p, func(a, b, out []T, workers int) {
+		core.ParallelMergeFunc(a, b, out, workers, less)
+	})
+	return dst
 }

@@ -1,0 +1,52 @@
+package kway
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"mergepath/internal/workload"
+)
+
+// BenchmarkKWayStrategies compares the three strategies at the issue's
+// k sweep over a fixed total output size (so the heap/tree/co-rank
+// columns are directly comparable per row). `make bench-kway` runs it.
+func BenchmarkKWayStrategies(b *testing.B) {
+	const total = 1 << 20
+	p := runtime.GOMAXPROCS(0)
+	for _, k := range []int{4, 16, 64} {
+		rng := rand.New(rand.NewSource(42))
+		lists := make([][]int32, k)
+		for i := range lists {
+			lists[i] = workload.SortedUniform32(rng, total/k)
+		}
+		dst := make([]int32, total)
+		for _, strat := range []Strategy{StrategyHeap, StrategyTree, StrategyCoRank} {
+			b.Run(fmt.Sprintf("k=%d/%s", k, strat), func(b *testing.B) {
+				b.SetBytes(int64(total) * 4)
+				for i := 0; i < b.N; i++ {
+					MergeIntoStats(dst, lists, p, strat)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCoRankSearch isolates the partitioner: the p-1 cut searches
+// must stay microscopic next to the merge itself.
+func BenchmarkCoRankSearch(b *testing.B) {
+	const total = 1 << 20
+	for _, k := range []int{4, 16, 64} {
+		rng := rand.New(rand.NewSource(7))
+		lists := make([][]int32, k)
+		for i := range lists {
+			lists[i] = workload.SortedUniform32(rng, total/k)
+		}
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				CoRank(lists, total/2)
+			}
+		})
+	}
+}

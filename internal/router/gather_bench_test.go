@@ -1,0 +1,44 @@
+package router
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"slices"
+	"testing"
+
+	"mergepath/internal/core"
+	"mergepath/internal/kway"
+)
+
+// BenchmarkGatherStrategies isolates the scatter path's gather stage:
+// recombining the partials of a max-scatter-wide split exactly as
+// scatterMerge does. The X15 router-gather column in BENCH_server.json.
+func BenchmarkGatherStrategies(b *testing.B) {
+	const n = 1 << 19 // per side; 1M-element gathered output
+	rng := rand.New(rand.NewSource(170))
+	a := make([]int64, n)
+	bb := make([]int64, n)
+	for i := range a {
+		a[i] = rng.Int63n(1 << 40)
+		bb[i] = rng.Int63n(1 << 40)
+	}
+	slices.Sort(a)
+	slices.Sort(bb)
+	windows := SplitMerge(a, bb, 8) // the default -max-scatter fan-out
+	partials := make([][]int64, len(windows))
+	for i, w := range windows {
+		part := make([]int64, w.Len())
+		core.Merge(a[w.ALo:w.AHi], bb[w.BLo:w.BHi], part)
+		partials[i] = part
+	}
+	out := make([]int64, 2*n)
+	for _, strat := range []kway.Strategy{kway.StrategyHeap, kway.StrategyTree, kway.StrategyCoRank} {
+		b.Run(fmt.Sprintf("strategy=%s", strat), func(b *testing.B) {
+			b.SetBytes(int64(2 * n * 8))
+			for i := 0; i < b.N; i++ {
+				kway.MergeIntoStats(out, partials, runtime.GOMAXPROCS(0), strat)
+			}
+		})
+	}
+}

@@ -91,6 +91,11 @@ type Config struct {
 	// MaxScatter caps the scatter fan-out (windows per request).
 	// Default 8, clamped to the backend count at pick time.
 	MaxScatter int
+	// GatherStrategy selects how sorted partials from a scatter are
+	// recombined: kway.StrategyAuto (the zero value) picks by partial
+	// count and total size, the rest force one of heap, tree or corank
+	// (see docs/KWAY.md). The output is byte-identical either way.
+	GatherStrategy kway.Strategy
 	// MaxBodyBytes caps request bodies; beyond it the router answers
 	// 413 without touching a backend. Default 32 MiB (larger than the
 	// node default: the router exists to take requests one node
@@ -160,6 +165,7 @@ func New(cfg Config) (*Router, error) {
 		hc = &http.Client{Timeout: 10 * time.Second}
 	}
 	rt := &Router{cfg: cfg, m: newMetrics(), mux: http.NewServeMux()}
+	rt.m.gatherStrategy = cfg.GatherStrategy.String()
 	seed := cfg.Resilience.Seed
 	rt.reg = newRegistry(cfg.Backends, cfg.HealthInterval, cfg.HealthTimeout, func(u string) *resilience.Client {
 		rc := cfg.Resilience
@@ -537,10 +543,11 @@ func (rt *Router) scatterMerge(r *http.Request, tr *server.Trace, req server.Mer
 
 	gstart := time.Now()
 	out := make([]int64, len(req.A)+len(req.B))
-	kway.MergeInto(out, partials, runtime.GOMAXPROCS(0))
+	_, st := kway.MergeIntoStats(out, partials, runtime.GOMAXPROCS(0), rt.cfg.GatherStrategy)
 	gather := time.Since(gstart)
 	tr.Add(StageGather, gstart, gather)
 	rt.m.noteScatter(len(windows), gather)
+	rt.m.noteGather(st)
 	if wantsWire(r) {
 		return &reply{status: http.StatusOK, ctype: wire.ContentType, body: wire.AppendInt64(nil, out)}
 	}

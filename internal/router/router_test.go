@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"mergepath/internal/kway"
 	"mergepath/internal/resilience"
 	"mergepath/internal/server"
 	"mergepath/internal/verify"
@@ -407,6 +408,55 @@ func TestRouterObservabilitySurfaces(t *testing.T) {
 		"mergerouter_scattered_total", "mergerouter_backend_state",
 		"mergerouter_scatter_fanout_total", "mergerouter_stage_latency_seconds",
 		"mergerouter_requests_total",
+	} {
+		if !strings.Contains(string(pbody), want) {
+			t.Fatalf("prom exposition missing %q", want)
+		}
+	}
+}
+
+// TestRouterGatherStrategy pins the -gather-strategy knob: a forced
+// co-rank gather still returns byte-identical responses, and the gather
+// counters land on both the /metrics JSON and the prom exposition.
+func TestRouterGatherStrategy(t *testing.T) {
+	c := newTestCluster(t, 3, func(cfg *Config) {
+		cfg.ScatterThreshold = 64
+		cfg.GatherStrategy = kway.StrategyCoRank
+	}, nil)
+	rng := rand.New(rand.NewSource(9))
+	a := sortedInt64(rng, 3000, 32) // duplicate-heavy: ties cross windows
+	b := sortedInt64(rng, 3000, 32)
+	body, _ := json.Marshal(server.MergeRequest{A: a, B: b})
+	rresp, rbody := postRaw(t, c.ts.URL, "/v1/merge", body)
+	nresp, nbody := postRaw(t, c.nodeURLs[0], "/v1/merge", body)
+	if rresp.StatusCode != http.StatusOK || nresp.StatusCode != http.StatusOK {
+		t.Fatalf("router %d node %d", rresp.StatusCode, nresp.StatusCode)
+	}
+	if !bytes.Equal(rbody, nbody) {
+		t.Fatal("co-rank gather response differs from single node")
+	}
+
+	snap := c.rt.Snapshot()
+	if snap.Routing.GatherStrategy != "corank" {
+		t.Fatalf("gather strategy %q, want corank", snap.Routing.GatherStrategy)
+	}
+	if snap.Routing.GatherMerges == 0 {
+		t.Fatal("no gather merges counted")
+	}
+	if snap.Routing.GatherImbalanceMax == 0 || snap.Routing.GatherImbalanceMax > 1.5 {
+		t.Fatalf("gather imbalance_max %.3f, want ~1.0", snap.Routing.GatherImbalanceMax)
+	}
+
+	presp, err := http.Get(c.ts.URL + "/metrics/prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer presp.Body.Close()
+	pbody, _ := io.ReadAll(presp.Body)
+	for _, want := range []string{
+		`mergerouter_gather_strategy{strategy="corank"} 1`,
+		"mergerouter_gather_merges_total",
+		"mergerouter_gather_imbalance_max 1",
 	} {
 		if !strings.Contains(string(pbody), want) {
 			t.Fatalf("prom exposition missing %q", want)

@@ -50,6 +50,10 @@ type Health struct {
 	// through a big external sort is busier than its request queue
 	// shows). Nil only while draining.
 	Jobs *jobs.Snapshot `json:"jobs,omitempty"`
+	// KWay reports the node's k-way merge strategy knob and co-rank
+	// window balance (docs/KWAY.md) — the same numbers as /metrics.
+	// Nil only while draining.
+	KWay *KWaySnapshot `json:"kway,omitempty"`
 }
 
 // handleHealthz reports liveness plus the overload state machine.
@@ -81,5 +85,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	h.Overload = &ov
 	js := s.jobs.Snapshot()
 	h.Jobs = &js
+	kw := s.m.kwaySnapshot()
+	h.KWay = &kw
 	_ = json.NewEncoder(w).Encode(h)
 }

@@ -8,6 +8,7 @@ import (
 	"mergepath/internal/batch"
 	"mergepath/internal/core"
 	"mergepath/internal/jobs"
+	"mergepath/internal/kway"
 	"mergepath/internal/overload"
 	"mergepath/internal/stats"
 )
@@ -38,12 +39,24 @@ type Metrics struct {
 	batchElems  atomic.Uint64 // output elements merged by those rounds
 	runRounds   atomic.Uint64 // uncoalesced (whole-pool) rounds with load stats
 
+	kwayHeap   atomic.Uint64 // k-way merges executed with the heap strategy
+	kwayTree   atomic.Uint64 // k-way merges executed with the tree strategy
+	kwayCoRank atomic.Uint64 // k-way merges executed with the co-rank strategy
+
+	kwayStrategy string // configured k-way strategy knob (set once at New)
+
 	mu            sync.Mutex
 	lastRoundLoad []batch.WorkerLoad // per-worker loads of the latest round
 	lastRound     stats.LoadSummary  // summary of the latest balanced round
 	imbMax        float64            // worst per-round imbalance ratio seen
 	imbSum        float64            // running sum of per-round imbalance ratios
 	imbCount      uint64             // rounds contributing to imbSum
+
+	kwayLastK       int     // run count of the latest k-way round
+	kwayLastWorkers int     // windows of the latest k-way co-rank round
+	kwayImbMax      float64 // worst k-way per-worker imbalance seen
+	kwayImbSum      float64 // running sum of k-way imbalance ratios
+	kwayImbCount    uint64  // co-rank rounds contributing to kwayImbSum
 }
 
 type endpointMetrics struct {
@@ -114,6 +127,37 @@ func (m *Metrics) noteImbalance(imb float64) {
 	}
 	m.imbSum += imb
 	m.imbCount++
+	m.mu.Unlock()
+}
+
+// noteKWay records one k-way merge round: the strategy that actually
+// executed, and — on the co-rank path, which reports per-worker loads —
+// the window loads against both the pool-wide balanced-round metrics
+// (extending the Theorem 5 imbalance validation from 2-way to k-way)
+// and the k-way-specific aggregates.
+func (m *Metrics) noteKWay(st kway.Stats) {
+	switch st.Strategy {
+	case kway.StrategyHeap:
+		m.kwayHeap.Add(1)
+	case kway.StrategyTree:
+		m.kwayTree.Add(1)
+	case kway.StrategyCoRank:
+		m.kwayCoRank.Add(1)
+	}
+	m.mu.Lock()
+	m.kwayLastK = st.K
+	m.kwayLastWorkers = st.Workers
+	m.mu.Unlock()
+	if len(st.PerWorker) == 0 {
+		return
+	}
+	m.noteRound(stats.SummarizeLoads(st.PerWorker))
+	m.mu.Lock()
+	if st.Imbalance > m.kwayImbMax {
+		m.kwayImbMax = st.Imbalance
+	}
+	m.kwayImbSum += st.Imbalance
+	m.kwayImbCount++
 	m.mu.Unlock()
 }
 
@@ -237,6 +281,32 @@ type WireSnapshot struct {
 	UnsupportedMediaType uint64 `json:"unsupported_media_type_total"`
 }
 
+// KWaySnapshot reports the k-way merge strategy counters: rounds by
+// executed strategy, the configured knob, and the per-worker window
+// imbalance of the co-rank path — the k-way extension of the Theorem 5
+// balance check (see docs/KWAY.md). Exported on /metrics,
+// /metrics/prom and (strategy + imbalance) /healthz.
+type KWaySnapshot struct {
+	// Strategy is the configured -kway-strategy knob; "auto" resolves
+	// per call by k and output size.
+	Strategy string `json:"strategy"`
+	// MergesHeap counts k-way rounds executed with the sequential heap.
+	MergesHeap uint64 `json:"merges_heap"`
+	// MergesTree counts rounds executed with the pairwise merge tree.
+	MergesTree uint64 `json:"merges_tree"`
+	// MergesCoRank counts rounds executed with co-ranking windows.
+	MergesCoRank uint64 `json:"merges_corank"`
+	// LastK is the run count of the latest k-way round.
+	LastK int `json:"last_k"`
+	// LastWorkers is the parallel window count of the latest round.
+	LastWorkers int `json:"last_workers"`
+	// ImbalanceMax is the worst per-worker window imbalance ratio of
+	// any co-rank round since start (~1.0 by construction).
+	ImbalanceMax float64 `json:"imbalance_max"`
+	// ImbalanceMean is the mean co-rank window imbalance since start.
+	ImbalanceMean float64 `json:"imbalance_mean"`
+}
+
 // MetricsSnapshot is the /metrics JSON document. The same numbers back
 // the Prometheus exposition on /metrics/prom (rendered from this struct
 // so the two surfaces cannot drift).
@@ -257,11 +327,37 @@ type MetricsSnapshot struct {
 	// Wire counts bodies by negotiated format (JSON vs the binary
 	// frame) and 415 refusals on the /v1 request endpoints.
 	Wire WireSnapshot `json:"wire"`
+	// KWay reports the /v1/mergek strategy counters and co-rank window
+	// balance (see docs/KWAY.md).
+	KWay KWaySnapshot `json:"kway"`
 	// Jobs is the asynchronous dataset/jobs subsystem's counters and
 	// gauges (internal/jobs): submissions by outcome, queue occupancy,
 	// spill usage and external-sort block I/O. Nil only in unit tests
 	// that snapshot a bare Metrics without a server.
 	Jobs *jobs.Snapshot `json:"jobs,omitempty"`
+}
+
+// kwaySnapshot assembles the k-way strategy counters; shared by
+// /metrics and /healthz so the surfaces cannot drift.
+func (m *Metrics) kwaySnapshot() KWaySnapshot {
+	s := KWaySnapshot{
+		Strategy:     m.kwayStrategy,
+		MergesHeap:   m.kwayHeap.Load(),
+		MergesTree:   m.kwayTree.Load(),
+		MergesCoRank: m.kwayCoRank.Load(),
+	}
+	if s.Strategy == "" {
+		s.Strategy = kway.StrategyAuto.String()
+	}
+	m.mu.Lock()
+	s.LastK = m.kwayLastK
+	s.LastWorkers = m.kwayLastWorkers
+	s.ImbalanceMax = m.kwayImbMax
+	if m.kwayImbCount > 0 {
+		s.ImbalanceMean = m.kwayImbSum / float64(m.kwayImbCount)
+	}
+	m.mu.Unlock()
+	return s
 }
 
 // snapshot assembles the exported document. p supplies live queue/worker
@@ -306,6 +402,7 @@ func (m *Metrics) snapshot(p *pool) MetricsSnapshot {
 		}
 		s.Overload = p.ctrl.SnapshotNow()
 	}
+	s.KWay = m.kwaySnapshot()
 	m.mu.Lock()
 	s.Pool.LastRoundLoad = append([]batch.WorkerLoad(nil), m.lastRoundLoad...)
 	s.Pool.LastRound = m.lastRound

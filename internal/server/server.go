@@ -99,6 +99,13 @@ type Config struct {
 	// see internal/jobs). Zero values select the jobs package defaults;
 	// the Fault injector above is shared with it automatically.
 	Jobs jobs.Config
+	// KWayStrategy selects the k-way merge implementation behind
+	// /v1/mergek: kway.StrategyAuto (the zero value) picks co-ranking
+	// for large merges and the sequential heap for small ones;
+	// StrategyHeap / StrategyTree / StrategyCoRank pin one
+	// implementation for benchmarking. Output bytes are identical
+	// across strategies. See docs/KWAY.md.
+	KWayStrategy kway.Strategy
 }
 
 func (c Config) withDefaults() Config {
@@ -144,6 +151,7 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{cfg: cfg, m: NewMetrics(), mux: http.NewServeMux()}
+	s.m.kwayStrategy = cfg.KWayStrategy.String()
 	s.ctrl = overload.New(cfg.Overload)
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth, cfg.BatchWindow, cfg.BatchElements, s.m, s.ctrl)
 	// Jobs share the overload controller's element accounting: a queued
@@ -519,11 +527,16 @@ func mergeKLists[T cmp.Ordered](s *Server, r *http.Request, lists [][]T, dst []T
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if dst != nil {
-			result = kway.MergeInto(dst, lists, workers)
-		} else {
-			result = kway.Merge(lists, workers)
+		out := dst
+		if out == nil {
+			if len(lists) == 0 {
+				return nil // JSON contract: an empty request merges to null
+			}
+			out = make([]T, j.elems)
 		}
+		var st kway.Stats
+		result, st = kway.MergeIntoStats(out, lists, workers, s.cfg.KWayStrategy)
+		s.m.noteKWay(st)
 		return nil
 	}
 	status, err := s.execute(r, j)

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify cover bench bench-kway experiments fmt serve loadtest loadtest-wire chaos soak lint-docs fuzz-wire kway-diff cluster cluster-quick jobs-soak jobs-soak-quick
+.PHONY: all build vet test race verify cover bench bench-kway experiments fmt serve loadtest loadtest-wire chaos soak lint-docs fuzz-wire kway-diff cluster cluster-quick jobs-soak jobs-soak-quick restart-quick restart-soak corrupt-check
 
 all: build vet test
 
@@ -29,7 +29,7 @@ lint-docs:
 		./internal/batch ./internal/stats ./internal/overload \
 		./internal/resilience ./internal/router ./internal/promtext \
 		./internal/jobs ./internal/extsort ./internal/wire \
-		./internal/kway ./cmd/mergerouter
+		./internal/kway ./internal/fault ./cmd/mergerouter
 
 # Quick k-way differential: every strategy (heap, tree, co-rank) must be
 # byte-identical to the sequential heap baseline across k x sizes x
@@ -51,11 +51,14 @@ fuzz-wire:
 # (which includes the fault-injection lifecycle tests in internal/server
 # and internal/fault), a chaos pass against a live in-process daemon,
 # the in-process cluster soak (3 backends + router, one backend
-# faulted, under -race), and the quick jobs soak (concurrent submits +
-# cancels + GC under fault injection, -race). The longer overload/breaker
-# soak is its own target (`make soak`); the multi-process cluster is
-# `make cluster`; the extended jobs soak is `make jobs-soak`.
-verify: build vet test lint-docs kway-diff race fuzz-wire chaos cluster-quick jobs-soak-quick
+# faulted, under -race), the quick jobs soak (concurrent submits +
+# cancels + GC under fault injection, -race), and the quick in-process
+# restart-recovery drill (journal replay, orphan GC, corruption
+# detection, -race). The longer overload/breaker soak is its own target
+# (`make soak`); the multi-process cluster is `make cluster`; the
+# extended jobs soak is `make jobs-soak`; the real SIGKILL restart soak
+# is `make restart-soak`.
+verify: build vet test lint-docs kway-diff race fuzz-wire chaos cluster-quick jobs-soak-quick restart-quick
 
 cover:
 	$(GO) test -cover ./...
@@ -135,6 +138,30 @@ jobs-soak-quick:
 
 jobs-soak:
 	MERGEPATH_JOBS_SOAK=1 $(GO) test -race -run TestJobsSoak -v -count=1 -timeout 10m ./internal/jobs
+
+# Quick in-process kill-restart drill (runs inside `make verify`): a
+# journaled manager finishes a job, a fake crash leaves in-flight
+# journal records + orphan files + a torn journal line, and a second
+# manager over the same spill dir must recover the dataset and the
+# byte-identical result, fail the in-flight job with a restart reason,
+# GC the orphans, and detect deliberate corruption. docs/DURABILITY.md.
+restart-quick:
+	$(GO) test -race -run 'TestRestartRecovery|TestJournalDisabled' -count=1 ./internal/jobs
+
+# Real kill-restart soak: build mergepathd, SIGKILL it mid-job, restart
+# on the same -spill-dir, and assert completed results stream
+# byte-identical, in-flight jobs surface failed(restart), no orphaned
+# temp files remain, and a flipped result byte is detected with
+# mergepathd_jobs_corruption_detected_total >= 1. See
+# scripts/restart-soak.sh for knobs (PORT, RECORDS).
+restart-soak:
+	./scripts/restart-soak.sh
+
+# Corruption detection gate: seal a spill file, flip one byte, and
+# assert the typed corruption error names the damaged block (plus the
+# read-side bit-flip fault op being caught by the verified reader).
+corrupt-check:
+	$(GO) test -run 'TestCorruptCheck|TestVerifiedReaderCatchesInjectedFlip' -count=1 -v ./internal/extsort
 
 # Overload/resilience soak: 60 seconds of injected latency under -race.
 # Drives the full control loop — healthy -> degraded -> shedding with

@@ -69,6 +69,8 @@ func main() {
 		jobQueue       = flag.Int("job-queue", 8, "max jobs waiting to run (full queue sheds with 503)")
 		jobTTL         = flag.Duration("job-ttl", 10*time.Minute, "TTL for finished job state/results and idle datasets")
 		jobFanIn       = flag.Int("job-fan-in", 0, "external-sort merge fan-in (0 = engine default)")
+		journal        = flag.Bool("journal", true, "write-ahead manifest journal under -spill-dir for crash recovery (ignored without -spill-dir; docs/DURABILITY.md)")
+		fsyncPolicy    = flag.String("fsync-policy", "state", "when to fsync journal and spill files: always, state or never (docs/DURABILITY.md)")
 
 		kwayStrategy = flag.String("kway-strategy", "auto", "k-way merge strategy for /v1/mergek and job fan-in: auto, heap, tree or corank (docs/KWAY.md)")
 	)
@@ -77,6 +79,10 @@ func main() {
 	kstrat, err := kway.ParseStrategy(*kwayStrategy)
 	if err != nil {
 		log.Fatalf("-kway-strategy: %v", err)
+	}
+	fsync, err := jobs.ParseFsyncPolicy(*fsyncPolicy)
+	if err != nil {
+		log.Fatalf("-fsync-policy: %v", err)
 	}
 
 	var inj *fault.Injector
@@ -105,13 +111,15 @@ func main() {
 		AccessLog:    *accessLog,
 		KWayStrategy: kstrat,
 		Jobs: jobs.Config{
-			Dir:           *spillDir,
-			MemoryRecords: *jobMemory,
-			MaxConcurrent: *jobConcurrency,
-			MaxQueued:     *jobQueue,
-			TTL:           *jobTTL,
-			FanIn:         *jobFanIn,
-			KWay:          kstrat,
+			Dir:            *spillDir,
+			MemoryRecords:  *jobMemory,
+			MaxConcurrent:  *jobConcurrency,
+			MaxQueued:      *jobQueue,
+			TTL:            *jobTTL,
+			FanIn:          *jobFanIn,
+			KWay:           kstrat,
+			DisableJournal: !*journal,
+			Fsync:          fsync,
 		},
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s}
@@ -140,8 +148,12 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("mergepathd listening on %s (workers=%d queue=%d spill=%s job-memory=%d)",
-		*addr, s.Workers(), *queue, s.Jobs().Dir(), s.Jobs().MemoryRecords())
+	journalState := "off"
+	if *spillDir != "" && *journal {
+		journalState = "on"
+	}
+	log.Printf("mergepathd listening on %s (workers=%d queue=%d spill=%s job-memory=%d journal=%s fsync=%s)",
+		*addr, s.Workers(), *queue, s.Jobs().Dir(), s.Jobs().MemoryRecords(), journalState, fsync)
 
 	select {
 	case err := <-errc:

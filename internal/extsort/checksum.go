@@ -1,0 +1,269 @@
+package extsort
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"mergepath/internal/fault"
+)
+
+// Block-integrity layer for sealed spill files. A file that has reached
+// its final, immutable state — an uploaded dataset, a finished job
+// result — gets a sidecar checksum file (<path> + ChecksumSuffix)
+// holding one CRC32C per block of the data file, so a torn write,
+// flipped bit or truncation on the disk underneath is detected as a
+// typed error instead of streamed to a client as wrong bytes. The data
+// file itself stays pure records: byte-identical to what the client
+// uploaded or will download, streamable with plain tools. Files still
+// being mutated (scratch, in-progress results) are not checksummed —
+// a crash mid-job loses the job, never the integrity story; see
+// docs/DURABILITY.md.
+//
+// Sidecar layout, all little-endian:
+//
+//	magic   "MPC1"  (4 bytes)
+//	block   uint32  block size in bytes
+//	size    uint64  data file size in bytes
+//	crcs    nblocks x uint32, CRC32C per block; the last block may be
+//	        short (size % block bytes)
+//
+// where nblocks = ceil(size/block).
+
+// ChecksumSuffix is appended to a data file's path to name its sidecar.
+const ChecksumSuffix = ".crc"
+
+// checksumMagic identifies a sidecar checksum file.
+var checksumMagic = [4]byte{'M', 'P', 'C', '1'}
+
+// castagnoli is the CRC32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt is the sentinel wrapped by every corruption detection —
+// block checksum mismatch, bad sidecar, or a data/sidecar size
+// disagreement. Callers classify with errors.Is(err, ErrCorrupt).
+var ErrCorrupt = errors.New("extsort: corruption detected")
+
+// CorruptionError pinpoints a failed integrity check: which file, and —
+// for a block mismatch — which block with both CRC values. It unwraps
+// to ErrCorrupt.
+type CorruptionError struct {
+	// Path is the data file that failed verification.
+	Path string
+	// Block is the zero-based index of the mismatching block, or -1 when
+	// the failure is structural (bad sidecar, size mismatch).
+	Block int
+	// Detail says what was wrong.
+	Detail string
+}
+
+// Error formats the corruption report.
+func (e *CorruptionError) Error() string {
+	if e.Block >= 0 {
+		return fmt.Sprintf("extsort: %s: block %d: %s", e.Path, e.Block, e.Detail)
+	}
+	return fmt.Sprintf("extsort: %s: %s", e.Path, e.Detail)
+}
+
+// Unwrap ties every CorruptionError to the ErrCorrupt sentinel.
+func (e *CorruptionError) Unwrap() error { return ErrCorrupt }
+
+// WriteChecksumFile seals dataPath: it streams the file once, computes a
+// CRC32C per block of blockRecords records, and writes the sidecar next
+// to it. sync additionally fsyncs the sidecar before close (the
+// fsync-policy knob gates it). Returns the number of blocks summed.
+func WriteChecksumFile(dataPath string, blockRecords int, sync bool) (int, error) {
+	if blockRecords <= 0 {
+		blockRecords = DefaultFileBlockRecords
+	}
+	blockBytes := blockRecords * RecordBytes
+	f, err := os.Open(dataPath)
+	if err != nil {
+		return 0, fmt.Errorf("extsort: checksum source: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("extsort: checksum source: %w", err)
+	}
+	size := fi.Size()
+	nblocks := int((size + int64(blockBytes) - 1) / int64(blockBytes))
+	out := make([]byte, 16+4*nblocks)
+	copy(out, checksumMagic[:])
+	binary.LittleEndian.PutUint32(out[4:], uint32(blockBytes))
+	binary.LittleEndian.PutUint64(out[8:], uint64(size))
+	buf := make([]byte, blockBytes)
+	for i := 0; i < nblocks; i++ {
+		want := blockBytes
+		if rem := size - int64(i)*int64(blockBytes); rem < int64(want) {
+			want = int(rem)
+		}
+		if _, err := io.ReadFull(f, buf[:want]); err != nil {
+			return 0, fmt.Errorf("extsort: checksum read: %w", err)
+		}
+		binary.LittleEndian.PutUint32(out[16+4*i:], crc32.Checksum(buf[:want], castagnoli))
+	}
+	side, err := os.OpenFile(dataPath+ChecksumSuffix, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return 0, fmt.Errorf("extsort: checksum sidecar: %w", err)
+	}
+	if _, err := side.Write(out); err != nil {
+		side.Close()
+		return 0, fmt.Errorf("extsort: checksum sidecar: %w", err)
+	}
+	if sync {
+		if err := side.Sync(); err != nil {
+			side.Close()
+			return 0, fmt.Errorf("extsort: checksum sidecar sync: %w", err)
+		}
+	}
+	if err := side.Close(); err != nil {
+		return 0, fmt.Errorf("extsort: checksum sidecar: %w", err)
+	}
+	return nblocks, nil
+}
+
+// readSidecar parses and sanity-checks dataPath's sidecar against the
+// data file's actual size.
+func readSidecar(dataPath string, dataSize int64) (blockBytes int, crcs []uint32, err error) {
+	raw, err := os.ReadFile(dataPath + ChecksumSuffix)
+	if err != nil {
+		return 0, nil, fmt.Errorf("extsort: checksum sidecar: %w", err)
+	}
+	if len(raw) < 16 || [4]byte(raw[:4]) != checksumMagic {
+		return 0, nil, &CorruptionError{Path: dataPath, Block: -1, Detail: "sidecar is not a checksum file"}
+	}
+	blockBytes = int(binary.LittleEndian.Uint32(raw[4:]))
+	size := int64(binary.LittleEndian.Uint64(raw[8:]))
+	if blockBytes <= 0 {
+		return 0, nil, &CorruptionError{Path: dataPath, Block: -1, Detail: "sidecar block size is not positive"}
+	}
+	if size != dataSize {
+		return 0, nil, &CorruptionError{Path: dataPath, Block: -1,
+			Detail: fmt.Sprintf("size %d disagrees with sealed size %d (truncated or grown)", dataSize, size)}
+	}
+	nblocks := int((size + int64(blockBytes) - 1) / int64(blockBytes))
+	if len(raw) != 16+4*nblocks {
+		return 0, nil, &CorruptionError{Path: dataPath, Block: -1, Detail: "sidecar length disagrees with its header"}
+	}
+	crcs = make([]uint32, nblocks)
+	for i := range crcs {
+		crcs[i] = binary.LittleEndian.Uint32(raw[16+4*i:])
+	}
+	return blockBytes, crcs, nil
+}
+
+// VerifiedReader streams a sealed data file while checking every block
+// against its sidecar checksums. Each block is read and verified in full
+// before any of its bytes are handed to the caller, so a mismatch
+// surfaces as a *CorruptionError and not one unverified byte ever
+// escapes — a client streaming a result sees a clean prefix and a
+// failed connection, never corrupt data. It reads strictly sequentially
+// (io.ReadCloser, no Seek) and buffers exactly one block.
+type VerifiedReader struct {
+	f          *os.File
+	path       string
+	blockBytes int
+	crcs       []uint32
+	block      int    // index of the next block to read+verify
+	buf        []byte // the current verified block
+	served     int    // bytes of buf already returned
+	remaining  int64  // data bytes not yet read from the file
+	fault      *fault.Injector
+}
+
+// OpenVerifiedReader opens dataPath and its sidecar for verified
+// streaming. Structural problems (missing or malformed sidecar, size
+// mismatch) are detected here; per-block mismatches surface from Read.
+func OpenVerifiedReader(dataPath string) (*VerifiedReader, error) {
+	f, err := os.Open(dataPath)
+	if err != nil {
+		return nil, fmt.Errorf("extsort: open verified: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("extsort: open verified: %w", err)
+	}
+	blockBytes, crcs, err := readSidecar(dataPath, fi.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &VerifiedReader{f: f, path: dataPath, blockBytes: blockBytes, crcs: crcs, remaining: fi.Size()}, nil
+}
+
+// SetFault attaches a fault injector for the read-side bit-flip op
+// ("disk.flip"): when it hits, one bit of the freshly read buffer is
+// flipped before hashing — the flip MUST then surface as a
+// *CorruptionError, which is exactly what chaos runs assert.
+func (r *VerifiedReader) SetFault(inj *fault.Injector) { r.fault = inj }
+
+// fill reads the next block in full, applies any injected bit flip, and
+// verifies it against the sealed CRC before it becomes servable.
+func (r *VerifiedReader) fill() error {
+	want := r.blockBytes
+	if r.remaining < int64(want) {
+		want = int(r.remaining)
+	}
+	if cap(r.buf) < want {
+		r.buf = make([]byte, want)
+	}
+	r.buf = r.buf[:want]
+	if _, err := io.ReadFull(r.f, r.buf); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return &CorruptionError{Path: r.path, Block: r.block, Detail: "file shrank below its sealed size"}
+		}
+		return &DeviceError{Op: "read", Path: r.path, Err: err}
+	}
+	if r.fault.Hit(FaultOpFlip) {
+		r.buf[0] ^= 1
+	}
+	got := crc32.Checksum(r.buf, castagnoli)
+	if r.block >= len(r.crcs) || got != r.crcs[r.block] {
+		detail := "sidecar has no checksum for this block"
+		if r.block < len(r.crcs) {
+			detail = fmt.Sprintf("checksum mismatch: have %08x, sealed %08x", got, r.crcs[r.block])
+		}
+		return &CorruptionError{Path: r.path, Block: r.block, Detail: detail}
+	}
+	r.block++
+	r.served = 0
+	r.remaining -= int64(want)
+	return nil
+}
+
+// Read implements io.Reader, serving only bytes whose block has already
+// passed verification.
+func (r *VerifiedReader) Read(p []byte) (int, error) {
+	if r.served == len(r.buf) {
+		if r.remaining <= 0 {
+			return 0, io.EOF
+		}
+		if err := r.fill(); err != nil {
+			return 0, err
+		}
+	}
+	n := copy(p, r.buf[r.served:])
+	r.served += n
+	return n, nil
+}
+
+// Close closes the underlying file.
+func (r *VerifiedReader) Close() error { return r.f.Close() }
+
+// VerifyChecksumFile scans a sealed file end to end against its sidecar
+// and returns the first corruption found (nil when intact). It is the
+// recovery pass's and `make corrupt-check`'s deep integrity probe.
+func VerifyChecksumFile(dataPath string) error {
+	r, err := OpenVerifiedReader(dataPath)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	_, err = io.Copy(io.Discard, r)
+	return err
+}

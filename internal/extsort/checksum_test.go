@@ -1,0 +1,157 @@
+package extsort
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mergepath/internal/fault"
+)
+
+// writeRecordFile writes n pseudorandom records to a fresh file in dir
+// and returns its path and raw bytes.
+func writeRecordFile(t *testing.T, dir string, n int, seed int64) (string, []byte) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	raw := make([]byte, n*RecordBytes)
+	rng.Read(raw)
+	path := filepath.Join(dir, "data.bin")
+	if err := os.WriteFile(path, raw, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path, raw
+}
+
+func TestChecksumRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 511, 512, 513, 5000} {
+		path, raw := writeRecordFile(t, t.TempDir(), n, int64(n)+1)
+		blocks, err := WriteChecksumFile(path, 512, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBlocks := (n + 511) / 512
+		if blocks != wantBlocks {
+			t.Fatalf("n=%d: %d blocks, want %d", n, blocks, wantBlocks)
+		}
+		if err := VerifyChecksumFile(path); err != nil {
+			t.Fatalf("n=%d: intact file failed verification: %v", n, err)
+		}
+		r, err := OpenVerifiedReader(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := io.ReadAll(r)
+		r.Close()
+		if err != nil {
+			t.Fatalf("n=%d: verified stream: %v", n, err)
+		}
+		if !bytes.Equal(got, raw) {
+			t.Fatalf("n=%d: verified stream is not byte-identical", n)
+		}
+	}
+}
+
+// TestCorruptCheck is the `make corrupt-check` gate: flip one byte of a
+// sealed spill file and assert the corruption is detected as a typed
+// error naming the right block — by the full-scan probe and by the
+// streaming reader — and that truncation and sidecar damage are caught
+// too.
+func TestCorruptCheck(t *testing.T) {
+	const n, block = 4096, 512
+	path, raw := writeRecordFile(t, t.TempDir(), n, 7)
+	if _, err := WriteChecksumFile(path, block, false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte in the third block.
+	corrupt := append([]byte(nil), raw...)
+	off := 2*block*RecordBytes + 37
+	corrupt[off] ^= 0x40
+	if err := os.WriteFile(path, corrupt, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	err := VerifyChecksumFile(path)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped byte not detected: %v", err)
+	}
+	var ce *CorruptionError
+	if !errors.As(err, &ce) || ce.Block != 2 {
+		t.Fatalf("wrong corruption detail: %v", err)
+	}
+
+	// The streaming reader must fail at (or before) the bad block, and
+	// every byte it did hand out must be from verified blocks.
+	r, err := OpenVerifiedReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rerr := io.ReadAll(r)
+	r.Close()
+	if !errors.Is(rerr, ErrCorrupt) {
+		t.Fatalf("stream did not surface corruption: %v", rerr)
+	}
+	if len(got) > 2*block*RecordBytes {
+		t.Fatalf("stream handed out %d bytes incl. the corrupt block", len(got))
+	}
+	if !bytes.Equal(got, corrupt[:len(got)]) {
+		t.Fatal("verified prefix differs from the file")
+	}
+
+	// Truncation below the sealed size is structural corruption.
+	if err := os.WriteFile(path, raw[:len(raw)-RecordBytes], 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyChecksumFile(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncation not detected: %v", err)
+	}
+
+	// Restore the data, damage the sidecar instead.
+	if err := os.WriteFile(path, raw, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path+ChecksumSuffix, []byte("junk"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyChecksumFile(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("sidecar damage not detected: %v", err)
+	}
+
+	// A missing sidecar is an error (not silent success), but not a
+	// corruption verdict — the file was never sealed.
+	if err := os.Remove(path + ChecksumSuffix); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyChecksumFile(path); err == nil || errors.Is(err, ErrCorrupt) {
+		t.Fatalf("missing sidecar: %v", err)
+	}
+}
+
+// TestVerifiedReaderCatchesInjectedFlip proves the read-side bit-flip
+// fault op cannot slip past the checksum layer: every injected flip
+// surfaces as a typed corruption error.
+func TestVerifiedReaderCatchesInjectedFlip(t *testing.T) {
+	path, _ := writeRecordFile(t, t.TempDir(), 2048, 11)
+	if _, err := WriteChecksumFile(path, 512, false); err != nil {
+		t.Fatal(err)
+	}
+	inj, err := fault.Parse("disk.flip:error=1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenVerifiedReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.SetFault(inj)
+	if _, err := io.Copy(io.Discard, r); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("injected flip escaped detection: %v", err)
+	}
+	if inj.Errors.Load() == 0 {
+		t.Fatal("flip op never fired")
+	}
+}

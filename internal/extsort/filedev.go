@@ -3,9 +3,65 @@ package extsort
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"os"
 	"sync/atomic"
+
+	"mergepath/internal/fault"
 )
+
+// DeviceError is the typed failure every fallible FileDevice operation
+// returns: which op failed ("read", "write", "sync"), on which file,
+// wrapping the underlying cause. Callers that must distinguish a failed
+// disk from wrong input match with errors.As; the jobs layer surfaces
+// it as a failed job instead of wrong bytes.
+type DeviceError struct {
+	// Op is the failing operation: "read", "write" or "sync".
+	Op string
+	// Path is the backing file.
+	Path string
+	// Err is the underlying cause (wrapped).
+	Err error
+}
+
+// Error formats the failure.
+func (e *DeviceError) Error() string {
+	return fmt.Sprintf("extsort: %s %s: %v", e.Op, e.Path, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *DeviceError) Unwrap() error { return e.Err }
+
+// Fault-injection ops the device consults when an injector is attached
+// (SetFault), keyed like the request-path ops so one -fault/-chaos spec
+// drives disk havoc too:
+//
+//	disk.enospc     Write fails up front with ENOSPC-shaped error
+//	disk.shortwrite Write persists only a prefix, then fails typed
+//	disk.read       Read fails with an injected I/O error
+//	disk.flip       a read returns data with one bit flipped (silent —
+//	                only sealed-file checksums can catch it; also
+//	                consulted by VerifiedReader)
+//	disk.sync       Sync fails with an injected I/O error
+const (
+	// FaultOpENOSPC injects a full-disk write failure.
+	FaultOpENOSPC = "disk.enospc"
+	// FaultOpShortWrite injects a torn (partial) write.
+	FaultOpShortWrite = "disk.shortwrite"
+	// FaultOpRead injects a read I/O failure.
+	FaultOpRead = "disk.read"
+	// FaultOpFlip injects a read-side single-bit flip.
+	FaultOpFlip = "disk.flip"
+	// FaultOpSync injects an fsync failure.
+	FaultOpSync = "disk.sync"
+)
+
+// errNoSpace is the injected ENOSPC shape (wrapping fault.ErrInjected so
+// tests can classify injected vs real disk failures).
+var errNoSpace = fmt.Errorf("%w: no space left on device", fault.ErrInjected)
+
+// errReadFault is the injected read-failure shape.
+var errReadFault = fmt.Errorf("%w: input/output error", fault.ErrInjected)
 
 // RecordBytes is the on-disk size of one int64 record (little-endian).
 const RecordBytes = 8
@@ -28,8 +84,15 @@ type FileDevice struct {
 	capacity     int
 	reads        atomic.Uint64
 	writes       atomic.Uint64
+	syncs        atomic.Uint64
 	buf          []byte // reused encode/decode scratch
+	fault        *fault.Injector
 }
+
+// SetFault attaches a fault injector consulted by Read/Write/Sync under
+// the disk.* ops (chaos testing of the storage error paths). A nil
+// injector — the default — is a no-op.
+func (d *FileDevice) SetFault(inj *fault.Injector) { d.fault = inj }
 
 // CreateFileDevice creates (or truncates) a file device at path holding
 // capacity records. blockRecords <= 0 selects DefaultFileBlockRecords.
@@ -100,9 +163,15 @@ func (d *FileDevice) Read(off int, dst []int64) error {
 	if len(dst) == 0 {
 		return nil
 	}
+	if d.fault.Hit(FaultOpRead) {
+		return &DeviceError{Op: "read", Path: d.path, Err: errReadFault}
+	}
 	buf := d.scratch(len(dst))
 	if _, err := d.f.ReadAt(buf, int64(off)*RecordBytes); err != nil {
-		return fmt.Errorf("extsort: read device: %w", err)
+		return &DeviceError{Op: "read", Path: d.path, Err: err}
+	}
+	if d.fault.Hit(FaultOpFlip) {
+		buf[0] ^= 1
 	}
 	for i := range dst {
 		dst[i] = int64(binary.LittleEndian.Uint64(buf[i*RecordBytes:]))
@@ -120,16 +189,45 @@ func (d *FileDevice) Write(off int, src []int64) error {
 	if len(src) == 0 {
 		return nil
 	}
+	if d.fault.Hit(FaultOpENOSPC) {
+		return &DeviceError{Op: "write", Path: d.path, Err: errNoSpace}
+	}
 	buf := d.scratch(len(src))
 	for i, v := range src {
 		binary.LittleEndian.PutUint64(buf[i*RecordBytes:], uint64(v))
 	}
+	if d.fault.Hit(FaultOpShortWrite) {
+		// A torn write: persist only a prefix, then fail — the caller
+		// must treat the whole range as unwritten, never as truncated-
+		// but-fine data.
+		if half := len(buf) / 2; half > 0 {
+			_, _ = d.f.WriteAt(buf[:half], int64(off)*RecordBytes)
+		}
+		return &DeviceError{Op: "write", Path: d.path, Err: io.ErrShortWrite}
+	}
 	if _, err := d.f.WriteAt(buf, int64(off)*RecordBytes); err != nil {
-		return fmt.Errorf("extsort: write device: %w", err)
+		return &DeviceError{Op: "write", Path: d.path, Err: err}
 	}
 	d.writes.Add(blocksSpanned(d.blockRecords, off, len(src)))
 	return nil
 }
+
+// Sync flushes the device's dirty pages to stable storage (fsync),
+// counting the sync. The jobs layer calls it at seal points — after the
+// final sorted write, before the result rename — per its fsync policy.
+func (d *FileDevice) Sync() error {
+	if d.fault.Hit(FaultOpSync) {
+		return &DeviceError{Op: "sync", Path: d.path, Err: errReadFault}
+	}
+	if err := d.f.Sync(); err != nil {
+		return &DeviceError{Op: "sync", Path: d.path, Err: err}
+	}
+	d.syncs.Add(1)
+	return nil
+}
+
+// Syncs reports how many fsyncs the device has performed.
+func (d *FileDevice) Syncs() uint64 { return d.syncs.Load() }
 
 // Stats reports accumulated block I/O counts.
 func (d *FileDevice) Stats() (reads, writes uint64) { return d.reads.Load(), d.writes.Load() }

@@ -1,0 +1,153 @@
+package extsort
+
+import (
+	"errors"
+	"io"
+	"path/filepath"
+	"testing"
+
+	"mergepath/internal/fault"
+)
+
+// TestFileDeviceFaultTable drives every disk fault op through FileDevice
+// and asserts each surfaces as a typed *DeviceError — never a silently
+// truncated or wrong-length operation.
+func TestFileDeviceFaultTable(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+		call func(d *FileDevice) error
+		op   string // expected DeviceError.Op
+		is   error  // expected errors.Is target (nil = skip)
+	}{
+		{
+			name: "enospc on write",
+			spec: FaultOpENOSPC + ":error=1",
+			call: func(d *FileDevice) error { return d.Write(0, make([]int64, 64)) },
+			op:   "write",
+			is:   fault.ErrInjected,
+		},
+		{
+			name: "short write",
+			spec: FaultOpShortWrite + ":error=1",
+			call: func(d *FileDevice) error { return d.Write(0, make([]int64, 64)) },
+			op:   "write",
+			is:   io.ErrShortWrite,
+		},
+		{
+			name: "read io error",
+			spec: FaultOpRead + ":error=1",
+			call: func(d *FileDevice) error { return d.Read(0, make([]int64, 64)) },
+			op:   "read",
+			is:   fault.ErrInjected,
+		},
+		{
+			name: "sync failure",
+			spec: FaultOpSync + ":error=1",
+			call: func(d *FileDevice) error { return d.Sync() },
+			op:   "sync",
+			is:   fault.ErrInjected,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := CreateFileDevice(filepath.Join(t.TempDir(), "dev.bin"), 256, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d.Close()
+			inj, err := fault.Parse(tc.spec, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.SetFault(inj)
+			err = tc.call(d)
+			var de *DeviceError
+			if !errors.As(err, &de) {
+				t.Fatalf("want *DeviceError, got %v", err)
+			}
+			if de.Op != tc.op {
+				t.Fatalf("Op = %q, want %q", de.Op, tc.op)
+			}
+			if tc.is != nil && !errors.Is(err, tc.is) {
+				t.Fatalf("error %v does not wrap %v", err, tc.is)
+			}
+			// A failed op must not be charged as successful I/O.
+			reads, writes := d.Stats()
+			if reads != 0 || writes != 0 {
+				t.Fatalf("failed op charged I/O: reads=%d writes=%d", reads, writes)
+			}
+		})
+	}
+}
+
+// TestShortWriteNeverSilentlyTruncates proves the torn-write fault is a
+// loud failure: after an injected short write the caller gets a typed
+// error, and retrying the full write (fault cleared) restores an intact
+// run — the device never pretends the prefix was a complete write.
+func TestShortWriteNeverSilentlyTruncates(t *testing.T) {
+	d, err := CreateFileDevice(filepath.Join(t.TempDir(), "dev.bin"), 128, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	src := make([]int64, 128)
+	for i := range src {
+		src[i] = int64(i * 3)
+	}
+	inj, err := fault.Parse(FaultOpShortWrite+":error=1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetFault(inj)
+	werr := d.Write(0, src)
+	if !errors.Is(werr, io.ErrShortWrite) {
+		t.Fatalf("torn write not reported: %v", werr)
+	}
+	// The caller's contract after an error: the range is unwritten.
+	// Clear the fault and rewrite; the device must hold the full run.
+	inj.SetEnabled(false)
+	if err := d.Write(0, src); err != nil {
+		t.Fatalf("retry after torn write: %v", err)
+	}
+	got := make([]int64, 128)
+	if err := d.Read(0, got); err != nil {
+		t.Fatalf("readback: %v", err)
+	}
+	for i := range src {
+		if got[i] != src[i] {
+			t.Fatalf("record %d = %d, want %d (truncated run leaked)", i, got[i], src[i])
+		}
+	}
+}
+
+// TestFlipFaultIsSilentAtDeviceLevel documents the threat model: a
+// read-side bit flip at the raw device is NOT detectable by FileDevice
+// itself (no error), which is precisely why sealed files carry sidecar
+// checksums — see TestVerifiedReaderCatchesInjectedFlip.
+func TestFlipFaultIsSilentAtDeviceLevel(t *testing.T) {
+	d, err := CreateFileDevice(filepath.Join(t.TempDir(), "dev.bin"), 64, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	src := make([]int64, 64)
+	for i := range src {
+		src[i] = int64(i)
+	}
+	if err := d.Write(0, src); err != nil {
+		t.Fatal(err)
+	}
+	inj, err := fault.Parse(FaultOpFlip+":error=1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetFault(inj)
+	got := make([]int64, 64)
+	if err := d.Read(0, got); err != nil {
+		t.Fatalf("flip must be silent at this layer, got %v", err)
+	}
+	if got[0] == src[0] {
+		t.Fatal("flip fault did not corrupt the read")
+	}
+}

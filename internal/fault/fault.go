@@ -48,10 +48,14 @@ type Injector struct {
 	rules    map[string]Rule
 	disabled atomic.Bool // runtime gate: soak tests clear the fault mid-run
 
-	// Injection counters, exported so tests and the chaos load generator
-	// can assert how much havoc was actually wreaked.
+	// Panics counts injected panics; exported (with Errors and Sleeps)
+	// so tests and the chaos load generator can assert how much havoc
+	// was actually wreaked.
 	Panics atomic.Uint64
+	// Errors counts injected errors (Before's ErrInjected returns and
+	// Hit's true verdicts).
 	Errors atomic.Uint64
+	// Sleeps counts injected latency sleeps.
 	Sleeps atomic.Uint64
 }
 
@@ -139,9 +143,46 @@ func Parse(spec string, seed int64) (*Injector, error) {
 
 // PanicValue is what an injected panic carries, so recovery sites (and
 // their tests) can tell injected panics from real bugs.
-type PanicValue struct{ Op string }
+type PanicValue struct {
+	// Op is the request op whose rule fired the panic.
+	Op string
+}
 
+// String renders the panic value for logs and recovery sites.
 func (v PanicValue) String() string { return "fault: injected panic (op=" + v.Op + ")" }
+
+// Hit draws op's error coin and reports whether it fired, honouring the
+// rule's latency clause first (counted like Before's). It exists for
+// callers that implement their own fault shape instead of taking the
+// generic ErrInjected — the storage layer keys disk faults this way
+// (short write, ENOSPC, fsync failure, read-side bit flip) so one spec
+// grammar drives both request-path and disk-path chaos:
+//
+//	disk.enospc:error=0.01;disk.flip:error=0.001
+//
+// Panic clauses are ignored: a disk does not panic, it fails. Safe on a
+// nil receiver (never hits).
+func (in *Injector) Hit(op string) bool {
+	if in == nil || in.disabled.Load() {
+		return false
+	}
+	rule, ok := in.rules[op]
+	if !ok {
+		rule, ok = in.rules["*"]
+		if !ok {
+			return false
+		}
+	}
+	sleep, fail, _ := in.flip(rule)
+	if sleep {
+		in.Sleeps.Add(1)
+		time.Sleep(rule.Latency)
+	}
+	if fail {
+		in.Errors.Add(1)
+	}
+	return fail
+}
 
 // Before runs the op's rule: it may sleep, return ErrInjected, or panic
 // with a PanicValue — in that order of evaluation, so a rule with both

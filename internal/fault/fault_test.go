@@ -265,3 +265,32 @@ func TestParseRejectsMalformedSpecs(t *testing.T) {
 		}
 	}
 }
+
+func TestHitDrawsTheErrorCoin(t *testing.T) {
+	in, err := Parse("disk.enospc:error=1;disk.flip:error=0", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Hit("disk.enospc") {
+		t.Fatal("error=1 rule did not hit")
+	}
+	if in.Hit("disk.flip") {
+		t.Fatal("error=0 rule hit")
+	}
+	if in.Hit("disk.unruled") {
+		t.Fatal("op without a rule hit")
+	}
+	if got := in.Errors.Load(); got != 1 {
+		t.Fatalf("Errors counter: %d, want 1", got)
+	}
+	// The runtime gate applies to Hit like it does to Before.
+	in.SetEnabled(false)
+	if in.Hit("disk.enospc") {
+		t.Fatal("disabled injector hit")
+	}
+	// A nil injector never hits.
+	var nilInj *Injector
+	if nilInj.Hit("disk.enospc") {
+		t.Fatal("nil injector hit")
+	}
+}

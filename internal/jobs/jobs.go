@@ -134,10 +134,19 @@ type Config struct {
 	BlockRecords int
 	// Fault, when non-nil, injects errors/panics/latency into job
 	// execution keyed by op ("job" at start, "sortfile" before the
-	// sort) — chaos testing for the failure paths. Nil in production.
+	// sort, and the disk.* ops on every file device) — chaos testing
+	// for the failure paths. Nil in production.
 	Fault *fault.Injector
 	// Hooks observe lifecycle transitions (overload wiring).
 	Hooks Hooks
+	// DisableJournal turns the write-ahead manifest journal off even
+	// when Dir is set (-journal=false). Managers on an owned temp dir
+	// (Dir == "") never journal — there is nothing to recover into.
+	DisableJournal bool
+	// Fsync is the fsync policy (docs/DURABILITY.md). Zero value is
+	// FsyncState: fsync the journal at state boundaries and data files
+	// at seal points.
+	Fsync FsyncPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -171,6 +180,9 @@ func (c Config) withDefaults() Config {
 	if c.BlockRecords <= 0 {
 		c.BlockRecords = extsort.DefaultFileBlockRecords
 	}
+	if c.Fsync == "" {
+		c.Fsync = FsyncState
+	}
 	return c
 }
 
@@ -201,11 +213,14 @@ type Dataset struct {
 }
 
 // dataset is the manager's internal record: the public view plus the
-// backing path and the TTL clock.
+// backing path, the TTL clock, and the reference count that makes
+// deletion safe against running jobs (guarded by Manager.mu).
 type dataset struct {
 	Dataset
 	path     string
 	lastUsed time.Time
+	refs     int  // live jobs reading this dataset
+	deleting bool // DeleteDataset arrived while refs > 0; remove at last release
 }
 
 // View is a job's client-visible state — the GET /v1/jobs/{id} document.
@@ -250,6 +265,7 @@ type job struct {
 	dsPath    string
 	records   int
 	created   time.Time
+	ds        *dataset // refcounted input; nil for recovered (terminal) jobs
 
 	cancel context.CancelFunc
 	ctx    context.Context
@@ -269,6 +285,7 @@ type job struct {
 	stats       *extsort.Stats
 	resultPath  string
 	resultBytes int64
+	resultRefs  int  // open result streams; TTL expiry defers while > 0
 	accounted   bool // Hooks.Done fired
 }
 
@@ -310,6 +327,8 @@ type Manager struct {
 	stopGC chan struct{}
 	gcDone chan struct{}
 
+	jnl *journal // nil when journaling is disabled
+
 	submitted    atomic.Uint64
 	completed    atomic.Uint64
 	failed       atomic.Uint64
@@ -321,7 +340,22 @@ type Manager struct {
 	blockReads   atomic.Uint64
 	blockWrites  atomic.Uint64
 	resultAborts atomic.Uint64
+
+	// Durability counters (Snapshot.Durability).
+	jAppends       atomic.Uint64
+	jReplayed      atomic.Uint64
+	fsyncs         atomic.Uint64
+	recDatasets    atomic.Uint64
+	recResults     atomic.Uint64
+	recFailed      atomic.Uint64
+	orphansRemoved atomic.Uint64
+	corruption     atomic.Uint64
 }
+
+// NoteCorruption records one detected integrity failure (checksum
+// mismatch, truncated sealed file). Fed by the verified readers and the
+// recovery pass.
+func (m *Manager) NoteCorruption() { m.corruption.Add(1) }
 
 // NoteResultAbort records one result stream that died mid-body — the
 // client vanished or the spill file failed under the copy. The transfer
@@ -355,6 +389,21 @@ func New(cfg Config) (*Manager, error) {
 		stopGC:   make(chan struct{}),
 		gcDone:   make(chan struct{}),
 	}
+	// Journaling requires a caller-owned spill directory: an ephemeral
+	// temp dir dies with the process, so there is no restart to recover.
+	if !ownDir && !cfg.DisableJournal {
+		// Recover BEFORE opening the append side: compaction replaces the
+		// journal file, and an open O_APPEND handle would keep writing to
+		// the replaced inode.
+		if err := m.recoverState(); err != nil {
+			return nil, err
+		}
+		jnl, err := openJournal(dir, cfg.Fsync, &m.jAppends, &m.fsyncs)
+		if err != nil {
+			return nil, err
+		}
+		m.jnl = jnl
+	}
 	for i := 0; i < cfg.MaxConcurrent; i++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -369,7 +418,8 @@ func (m *Manager) Dir() string { return m.dir }
 // MemoryRecords returns the effective per-job memory budget in records.
 func (m *Manager) MemoryRecords() int { return m.cfg.MemoryRecords }
 
-// CreateDataset streams r to a spill file and registers the dataset. The
+// CreateDataset streams r to a spill file, seals it (fsync per policy,
+// sidecar checksums, journal record) and registers the dataset. The
 // stream must be a whole number of 8-byte little-endian records and at
 // most MaxDatasetBytes long.
 func (m *Manager) CreateDataset(r io.Reader) (Dataset, error) {
@@ -389,20 +439,35 @@ func (m *Manager) CreateDataset(r io.Reader) (Dataset, error) {
 	// Copy with a one-byte overshoot window so an over-limit stream is
 	// detected without reading it to the end.
 	n, err := io.Copy(f, io.LimitReader(r, m.cfg.MaxDatasetBytes+1))
+	if err == nil && m.cfg.Fsync != FsyncNever {
+		// Seal point: the bytes must be on the platter before the journal
+		// record (and the 201 response) claims the dataset exists.
+		if err = f.Sync(); err == nil {
+			m.fsyncs.Add(1)
+		}
+	}
 	cerr := f.Close()
 	if err == nil {
 		err = cerr
 	}
+	discard := func() { os.Remove(path); os.Remove(path + extsort.ChecksumSuffix) }
 	switch {
 	case err != nil:
-		os.Remove(path)
+		discard()
 		return Dataset{}, fmt.Errorf("jobs: dataset upload: %w", err)
 	case n > m.cfg.MaxDatasetBytes:
-		os.Remove(path)
+		discard()
 		return Dataset{}, ErrTooLarge
 	case n%extsort.RecordBytes != 0:
-		os.Remove(path)
+		discard()
 		return Dataset{}, ErrBadLength
+	}
+	if _, err := extsort.WriteChecksumFile(path, m.cfg.BlockRecords, m.cfg.Fsync != FsyncNever); err != nil {
+		discard()
+		return Dataset{}, fmt.Errorf("jobs: seal dataset: %w", err)
+	}
+	if m.cfg.Fsync != FsyncNever {
+		m.fsyncs.Add(1) // the sidecar fsync inside WriteChecksumFile
 	}
 	now := time.Now()
 	ds := &dataset{
@@ -410,10 +475,16 @@ func (m *Manager) CreateDataset(r io.Reader) (Dataset, error) {
 		path:     path,
 		lastUsed: now,
 	}
+	if err := m.jnl.append(record{T: recDataset, ID: id, Records: ds.Records, Bytes: n}); err != nil {
+		// Not durable -> not created: a dataset the journal cannot vouch
+		// for would be garbage-collected at the next restart anyway.
+		discard()
+		return Dataset{}, err
+	}
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
-		os.Remove(path)
+		discard()
 		return Dataset{}, ErrClosed
 	}
 	m.datasets[id] = ds
@@ -432,20 +503,29 @@ func (m *Manager) GetDataset(id string) (Dataset, bool) {
 	return ds.Dataset, true
 }
 
-// DeleteDataset removes a dataset's record and file. Jobs already
-// reading the file keep their open descriptor (POSIX unlink semantics);
-// jobs submitted afterwards fail with ErrUnknownDataset.
+// DeleteDataset removes a dataset with deferred-delete semantics: the
+// record disappears immediately (subsequent submissions 404) but, when
+// live jobs still hold the dataset, the file removal is deferred until
+// the last job releases it — the delete never races a running sort's
+// reads. Documented in docs/DURABILITY.md.
 func (m *Manager) DeleteDataset(id string) error {
 	m.mu.Lock()
 	ds, ok := m.datasets[id]
 	if ok {
 		delete(m.datasets, id)
+		if ds.refs > 0 {
+			ds.deleting = true // last finalizeLocked removes the file
+			ds = nil
+		}
 	}
 	m.mu.Unlock()
 	if !ok {
 		return ErrUnknownDataset
 	}
-	m.removeFile(ds.path)
+	m.jnl.append(record{T: recDatasetDel, ID: id})
+	if ds != nil {
+		m.removeFile(ds.path)
+	}
 	return nil
 }
 
@@ -475,6 +555,7 @@ func (m *Manager) Submit(typ, datasetID string) (View, error) {
 		dsPath:    ds.path,
 		records:   ds.Records,
 		created:   time.Now(),
+		ds:        ds,
 		ctx:       ctx,
 		cancel:    cancel,
 		state:     Pending,
@@ -489,8 +570,12 @@ func (m *Manager) Submit(typ, datasetID string) (View, error) {
 	}
 	m.jobs[j.id] = j
 	m.pending++
+	// The job holds its dataset until it reaches a terminal state: the
+	// refcount is what makes DELETE /v1/datasets safe mid-sort.
+	ds.refs++
 	m.mu.Unlock()
 	m.submitted.Add(1)
+	m.jnl.append(record{T: recAccepted, ID: j.id, JobType: typ, Dataset: datasetID, Records: j.records})
 	if h := m.cfg.Hooks.Enqueue; h != nil {
 		h(j.records)
 	}
@@ -524,8 +609,11 @@ func (m *Manager) Cancel(id string) error {
 		m.mu.Unlock()
 		return nil
 	case Pending:
-		m.finalizeLocked(j, Canceled, nil)
+		post := m.finalizeLocked(j, Canceled, nil)
 		m.mu.Unlock()
+		if post != nil {
+			post()
+		}
 		j.cancel()
 		return nil
 	case Running:
@@ -538,8 +626,13 @@ func (m *Manager) Cancel(id string) error {
 	}
 }
 
-// OpenResult opens a done job's sorted result for streaming and reports
-// its size. The caller must Close the reader.
+// OpenResult opens a done job's sorted result for checksum-verified
+// streaming and reports its size. The job's result is pinned against
+// TTL expiry for the life of the stream (resultRefs), so a sweep racing
+// a slow download can never unlink the file mid-copy. The caller must
+// Close the reader. A corrupted result surfaces as an error wrapping
+// extsort.ErrCorrupt (and bumps corruption_detected_total), never as
+// wrong bytes.
 func (m *Manager) OpenResult(id string) (io.ReadCloser, int64, error) {
 	m.mu.Lock()
 	j, ok := m.jobs[id]
@@ -552,12 +645,56 @@ func (m *Manager) OpenResult(id string) (io.ReadCloser, int64, error) {
 		return nil, 0, ErrNotDone
 	}
 	path, size := j.resultPath, j.resultBytes
+	j.resultRefs++
 	m.mu.Unlock()
-	f, err := os.Open(path)
+	r, err := extsort.OpenVerifiedReader(path)
 	if err != nil {
+		m.releaseResult(j)
+		if errors.Is(err, extsort.ErrCorrupt) {
+			m.corruption.Add(1)
+		}
 		return nil, 0, fmt.Errorf("jobs: open result: %w", err)
 	}
-	return f, size, nil
+	r.SetFault(m.cfg.Fault)
+	return &resultStream{m: m, j: j, r: r}, size, nil
+}
+
+// resultStream wraps a verified result reader, counting corruption
+// verdicts and releasing the job's stream pin on Close.
+type resultStream struct {
+	m       *Manager
+	j       *job
+	r       *extsort.VerifiedReader
+	counted bool
+	closed  bool
+}
+
+// Read streams verified bytes; the first corruption verdict is counted.
+func (s *resultStream) Read(p []byte) (int, error) {
+	n, err := s.r.Read(p)
+	if err != nil && !s.counted && errors.Is(err, extsort.ErrCorrupt) {
+		s.counted = true
+		s.m.corruption.Add(1)
+	}
+	return n, err
+}
+
+// Close releases the stream's expiry pin and closes the file. Safe to
+// call twice.
+func (s *resultStream) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.m.releaseResult(s.j)
+	return s.r.Close()
+}
+
+// releaseResult drops one result-stream pin.
+func (m *Manager) releaseResult(j *job) {
+	m.mu.Lock()
+	j.resultRefs--
+	m.mu.Unlock()
 }
 
 // view assembles a View from a job (takes the manager lock).
@@ -591,10 +728,14 @@ func (m *Manager) view(j *job) View {
 }
 
 // finalizeLocked moves a job to a terminal state, firing Hooks.Done
-// exactly once. Callers hold m.mu.
-func (m *Manager) finalizeLocked(j *job, state State, err error) {
+// exactly once and releasing the job's dataset reference. Callers hold
+// m.mu and MUST run the returned closure (nil when the job was already
+// terminal) after unlocking: it appends the terminal journal record and
+// performs any dataset removal this release unblocked — file I/O and
+// fsyncs that must not happen under the manager lock.
+func (m *Manager) finalizeLocked(j *job, state State, err error) func() {
 	if j.state.terminal() {
-		return
+		return nil
 	}
 	switch j.state {
 	case Pending:
@@ -631,6 +772,30 @@ func (m *Manager) finalizeLocked(j *job, state State, err error) {
 			h(j.records, j.finished.Sub(j.started))
 		}
 	}
+
+	// Release the dataset; a deferred delete whose last reader just left
+	// is removed by the closure, outside the lock.
+	var removeDS string
+	if j.ds != nil {
+		j.ds.refs--
+		if j.ds.refs == 0 && j.ds.deleting {
+			removeDS = j.ds.path
+		}
+		j.ds = nil
+	}
+	rec := record{ID: j.id, JobType: j.typ, Dataset: j.datasetID, Records: j.records, Error: j.err}
+	switch state {
+	case Done:
+		rec.T, rec.Bytes = recDone, j.resultBytes
+	case Failed:
+		rec.T = recFailed
+	default:
+		rec.T = recCanceled
+	}
+	return func() {
+		m.jnl.append(rec)
+		m.removeFile(removeDS)
+	}
 }
 
 // Sweep runs one TTL garbage-collection pass at time now and reports how
@@ -641,11 +806,15 @@ func (m *Manager) Sweep(now time.Time) int {
 	ttl := m.cfg.TTL
 	var swept int
 	var toRemove []string
+	var toJournal []record
 	m.mu.Lock()
 	for id, ds := range m.datasets {
-		if now.Sub(ds.lastUsed) > ttl {
+		// A dataset a live job still reads never expires (refs > 0) —
+		// the job, not the clock, decides when it is safe to let go.
+		if ds.refs == 0 && now.Sub(ds.lastUsed) > ttl {
 			delete(m.datasets, id)
 			toRemove = append(toRemove, ds.path)
+			toJournal = append(toJournal, record{T: recDatasetDel, ID: id})
 			swept++
 		}
 	}
@@ -654,16 +823,20 @@ func (m *Manager) Sweep(now time.Time) int {
 		case j.state == Expired:
 			if now.Sub(j.expired) > ttl {
 				delete(m.jobs, id)
+				toJournal = append(toJournal, record{T: recJobDel, ID: id})
 				swept++
 			}
 		case j.state.terminal():
-			if now.Sub(j.finished) > ttl {
+			// An open result stream pins the files: expiry waits for the
+			// stream to close instead of unlinking mid-copy.
+			if j.resultRefs == 0 && now.Sub(j.finished) > ttl {
 				j.state = Expired
 				j.expired = now
 				if j.resultPath != "" {
 					toRemove = append(toRemove, j.resultPath)
 					j.resultPath = ""
 				}
+				toJournal = append(toJournal, record{T: recExpired, ID: id, JobType: j.typ, Dataset: j.datasetID, Records: j.records})
 				m.expiredN.Add(1)
 				swept++
 			}
@@ -673,15 +846,23 @@ func (m *Manager) Sweep(now time.Time) int {
 	for _, p := range toRemove {
 		m.removeFile(p)
 	}
+	for _, rec := range toJournal {
+		m.jnl.append(rec)
+	}
 	return swept
 }
 
-// removeFile deletes a spill file, counting successful removals.
+// removeFile deletes a spill file and, when present, its checksum
+// sidecar, counting successful removals. Files without sidecars
+// (scratch) lose nothing to the extra attempt.
 func (m *Manager) removeFile(path string) {
 	if path == "" {
 		return
 	}
 	if err := os.Remove(path); err == nil {
+		m.filesRemoved.Add(1)
+	}
+	if err := os.Remove(path + extsort.ChecksumSuffix); err == nil {
 		m.filesRemoved.Add(1)
 	}
 }
@@ -723,6 +904,7 @@ func (m *Manager) Close() error {
 	close(m.stopGC)
 	<-m.gcDone
 	m.wg.Wait()
+	m.jnl.close()
 	if m.ownDir {
 		return os.RemoveAll(m.dir)
 	}
@@ -774,6 +956,35 @@ type Snapshot struct {
 	// ResultAborts counts result streams that died mid-body (client
 	// disconnect or read failure) instead of completing.
 	ResultAborts uint64 `json:"result_aborts_total"`
+	// Durability is the crash-safety sub-document: journal, fsync,
+	// recovery and corruption accounting (docs/DURABILITY.md).
+	Durability DurabilitySnapshot `json:"durability"`
+}
+
+// DurabilitySnapshot is the crash-safety corner of the jobs metrics
+// document, surfaced on /metrics, /metrics/prom and /healthz.
+type DurabilitySnapshot struct {
+	// JournalEnabled reports whether the write-ahead journal is active.
+	JournalEnabled bool `json:"journal_enabled"`
+	// FsyncPolicy is the effective policy: always, state or never.
+	FsyncPolicy string `json:"fsync_policy"`
+	// JournalAppends counts records appended to the journal.
+	JournalAppends uint64 `json:"journal_appends_total"`
+	// JournalReplayed counts records replayed by the startup recovery.
+	JournalReplayed uint64 `json:"journal_replayed_total"`
+	// Fsyncs counts fsync calls (journal, data seals, directory).
+	Fsyncs uint64 `json:"fsyncs_total"`
+	// RecoveredDatasets counts datasets re-registered intact at startup.
+	RecoveredDatasets uint64 `json:"recovered_datasets_total"`
+	// RecoveredResults counts done jobs whose results survived restart.
+	RecoveredResults uint64 `json:"recovered_results_total"`
+	// RecoveredFailed counts in-flight jobs marked failed(restart).
+	RecoveredFailed uint64 `json:"recovered_failed_total"`
+	// OrphansRemoved counts unaccounted files the recovery pass deleted.
+	OrphansRemoved uint64 `json:"orphans_removed_total"`
+	// CorruptionDetected counts integrity failures caught by checksums
+	// (never silently streamed).
+	CorruptionDetected uint64 `json:"corruption_detected_total"`
 }
 
 // Snapshot assembles the current metrics document.
@@ -793,6 +1004,18 @@ func (m *Manager) Snapshot() Snapshot {
 		GCSweeps:      m.gcSweeps.Load(),
 		FilesRemoved:  m.filesRemoved.Load(),
 		ResultAborts:  m.resultAborts.Load(),
+		Durability: DurabilitySnapshot{
+			JournalEnabled:     m.jnl != nil,
+			FsyncPolicy:        string(m.cfg.Fsync),
+			JournalAppends:     m.jAppends.Load(),
+			JournalReplayed:    m.jReplayed.Load(),
+			Fsyncs:             m.fsyncs.Load(),
+			RecoveredDatasets:  m.recDatasets.Load(),
+			RecoveredResults:   m.recResults.Load(),
+			RecoveredFailed:    m.recFailed.Load(),
+			OrphansRemoved:     m.orphansRemoved.Load(),
+			CorruptionDetected: m.corruption.Load(),
+		},
 	}
 	m.mu.Lock()
 	s.Running = m.running

@@ -1,0 +1,209 @@
+package jobs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The write-ahead manifest journal: an append-only JSON-lines file
+// (journal.log) under the spill directory recording every durable state
+// transition — dataset sealed, job accepted, job running, job terminal,
+// files expired, records deleted. A restarted daemon replays it to
+// re-register completed datasets and results, surface in-flight jobs as
+// failed(restart) instead of silently vanished, and identify which
+// files in the spill directory are orphans. The journal record, not the
+// data file, is the commit point: a result whose rename landed but
+// whose job-done record did not is treated as never finished and its
+// files are garbage-collected.
+//
+// The journal only exists when the manager runs over a caller-provided
+// spill directory (Config.Dir != "") and journaling is not disabled —
+// a manager on an ephemeral temp dir has nothing worth recovering.
+
+// journalName is the journal's filename inside the spill directory.
+const journalName = "journal.log"
+
+// FsyncPolicy says when the jobs subsystem calls fsync: on every
+// journal append, only at durable state boundaries, or never.
+type FsyncPolicy string
+
+// The fsync policies. FsyncState — the default — fsyncs the journal at
+// state boundaries (dataset sealed, job accepted, job terminal) and
+// fsyncs data at seal points (sorted result before rename, dataset
+// after upload); losing a non-boundary record (job-running, expiry
+// bookkeeping) costs nothing on replay. FsyncAlways additionally
+// fsyncs every journal append. FsyncNever trades crash safety for
+// speed: the journal is still written, but a power cut may lose its
+// tail and unsealed data.
+const (
+	FsyncAlways FsyncPolicy = "always"
+	FsyncState  FsyncPolicy = "state"
+	FsyncNever  FsyncPolicy = "never"
+)
+
+// ParseFsyncPolicy validates a -fsync-policy flag value; empty selects
+// the default (state).
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch FsyncPolicy(strings.TrimSpace(s)) {
+	case "":
+		return FsyncState, nil
+	case FsyncAlways:
+		return FsyncAlways, nil
+	case FsyncState:
+		return FsyncState, nil
+	case FsyncNever:
+		return FsyncNever, nil
+	}
+	return "", fmt.Errorf("jobs: unknown fsync policy %q (want always, state or never)", s)
+}
+
+// Journal record types, one per durable state transition.
+const (
+	recDataset    = "dataset"      // dataset uploaded, sealed, checksummed
+	recDatasetDel = "dataset-del"  // dataset record + file removed
+	recAccepted   = "job-accepted" // job admitted to the queue
+	recRunning    = "job-running"  // job began executing
+	recDone       = "job-done"     // result sealed, renamed, streamable
+	recFailed     = "job-failed"   // job failed; Error carries the reason
+	recCanceled   = "job-canceled" // job canceled
+	recExpired    = "job-expired"  // TTL sweep removed the job's files
+	recJobDel     = "job-del"      // job record deleted entirely
+)
+
+// record is one journal line. Every record is self-contained — replay
+// needs only the LAST record per ID, which is also what compaction
+// writes — so the fields cover both dataset and job shapes.
+type record struct {
+	// T is the record type (the rec* constants).
+	T string `json:"t"`
+	// TS is the wall-clock time of the transition, RFC3339Nano.
+	TS time.Time `json:"ts"`
+	// ID is the dataset or job ID the record is about.
+	ID string `json:"id"`
+	// JobType is the job's type ("sortfile") on job records.
+	JobType string `json:"job_type,omitempty"`
+	// Dataset is the input dataset ID on job records.
+	Dataset string `json:"dataset,omitempty"`
+	// Records is the dataset/job length in 8-byte records.
+	Records int `json:"records,omitempty"`
+	// Bytes is the dataset or result size on disk.
+	Bytes int64 `json:"bytes,omitempty"`
+	// Error is the failure reason on job-failed records.
+	Error string `json:"error,omitempty"`
+}
+
+// stateBoundary reports whether t is a transition FsyncState must make
+// durable before acknowledging: the records replay depends on to not
+// lose committed work or resurrect canceled work.
+func stateBoundary(t string) bool {
+	switch t {
+	case recDataset, recDatasetDel, recAccepted, recDone, recFailed, recCanceled:
+		return true
+	}
+	return false
+}
+
+// journal is the append-side handle. All methods are safe for
+// concurrent use and safe on a nil receiver (no-op) so call sites need
+// no journaling-enabled guards.
+type journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	policy FsyncPolicy
+
+	appends *atomic.Uint64 // Manager.jAppends
+	fsyncs  *atomic.Uint64 // Manager.fsyncs
+}
+
+// openJournal opens (creating if needed) the journal for appending.
+func openJournal(dir string, policy FsyncPolicy, appends, fsyncs *atomic.Uint64) (*journal, error) {
+	path := filepath.Join(dir, journalName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: open journal: %w", err)
+	}
+	return &journal{f: f, path: path, policy: policy, appends: appends, fsyncs: fsyncs}, nil
+}
+
+// marshalRecord encodes one record as a newline-terminated JSON line.
+func marshalRecord(rec record) ([]byte, error) {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: journal encode: %w", err)
+	}
+	return append(line, '\n'), nil
+}
+
+// append writes one record as a JSON line and fsyncs it per policy.
+func (jn *journal) append(rec record) error {
+	if jn == nil {
+		return nil
+	}
+	rec.TS = time.Now()
+	line, err := marshalRecord(rec)
+	if err != nil {
+		return err
+	}
+	jn.mu.Lock()
+	defer jn.mu.Unlock()
+	if _, err := jn.f.Write(line); err != nil {
+		return fmt.Errorf("jobs: journal append: %w", err)
+	}
+	jn.appends.Add(1)
+	if jn.policy == FsyncAlways || (jn.policy == FsyncState && stateBoundary(rec.T)) {
+		if err := jn.f.Sync(); err != nil {
+			return fmt.Errorf("jobs: journal fsync: %w", err)
+		}
+		jn.fsyncs.Add(1)
+	}
+	return nil
+}
+
+// close closes the journal file.
+func (jn *journal) close() error {
+	if jn == nil {
+		return nil
+	}
+	jn.mu.Lock()
+	defer jn.mu.Unlock()
+	return jn.f.Close()
+}
+
+// readJournal parses the journal at path into its records, tolerating a
+// torn final line (the crash the journal exists to survive can land
+// mid-append). A missing journal yields no records and no error.
+func readJournal(path string) ([]record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("jobs: read journal: %w", err)
+	}
+	defer f.Close()
+	var recs []record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var rec record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			// A torn or garbled line: everything before it already parsed,
+			// everything after it is unreachable state from before the
+			// tear — stop here and recover from what we have.
+			break
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return recs, fmt.Errorf("jobs: read journal: %w", err)
+	}
+	return recs, nil
+}

@@ -1,0 +1,265 @@
+package jobs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mergepath/internal/extsort"
+)
+
+// restartReason is the client-visible error put on jobs that were in
+// flight (accepted or running) when the daemon died: they are failed,
+// loudly, never left hung in "running".
+const restartReason = "restart: daemon crashed or restarted while the job was in flight; resubmit"
+
+// recoverState is the startup recovery pass, run from New before any
+// worker starts, when journaling is enabled. It replays the journal,
+// re-registers datasets and finished jobs whose files survived intact,
+// marks in-flight jobs failed(restart), removes every file the journal
+// does not account for, and compacts the journal to the live state.
+// The manager is not yet shared, so no locking is needed.
+func (m *Manager) recoverState() error {
+	recs, err := readJournal(filepath.Join(m.dir, journalName))
+	if err != nil {
+		return err
+	}
+	m.jReplayed.Add(uint64(len(recs)))
+
+	// Fold the journal: the last record per ID wins (records are
+	// self-contained by construction).
+	last := make(map[string]record, len(recs))
+	order := make([]string, 0, len(recs))
+	for _, rec := range recs {
+		if _, seen := last[rec.ID]; !seen {
+			order = append(order, rec.ID)
+		}
+		last[rec.ID] = rec
+	}
+
+	now := time.Now()
+	keep := map[string]bool{filepath.Join(m.dir, journalName): true}
+	keepData := func(path string) {
+		keep[path] = true
+		keep[path+extsort.ChecksumSuffix] = true
+	}
+
+	for _, id := range order {
+		rec := last[id]
+		switch rec.T {
+		case recDataset:
+			path := filepath.Join(m.dir, id+".data")
+			if err := checkSealed(path, rec.Bytes); err != nil {
+				// Damaged or vanished: count, leave for orphan GC.
+				m.corruption.Add(1)
+				continue
+			}
+			m.datasets[id] = &dataset{
+				Dataset:  Dataset{ID: id, Records: rec.Records, Bytes: rec.Bytes, Created: rec.TS},
+				path:     path,
+				lastUsed: now,
+			}
+			keepData(path)
+			m.recDatasets.Add(1)
+		case recDatasetDel:
+			// Gone for good; its files (if any survive) are orphans.
+		case recAccepted, recRunning:
+			// In flight at the crash: fail it with a client-visible
+			// restart reason. Its partial files are orphans.
+			j := recoveredJob(rec)
+			j.state = Failed
+			j.err = restartReason
+			j.finished = now
+			m.jobs[id] = j
+			m.recFailed.Add(1)
+		case recDone:
+			path := filepath.Join(m.dir, id+".result")
+			j := recoveredJob(rec)
+			if err := checkSealed(path, rec.Bytes); err != nil {
+				// The journal committed the result but the disk lost or
+				// damaged it: surface as failed, count the corruption.
+				m.corruption.Add(1)
+				j.state = Failed
+				j.err = "restart: result file lost or damaged after restart: " + err.Error()
+				j.finished = now
+			} else {
+				j.state = Done
+				j.finished = rec.TS
+				j.resultPath = path
+				j.resultBytes = rec.Bytes
+				j.bumpProgress(1)
+				keepData(path)
+				m.recResults.Add(1)
+			}
+			m.jobs[id] = j
+		case recFailed, recCanceled:
+			j := recoveredJob(rec)
+			j.state = Failed
+			if rec.T == recCanceled {
+				j.state = Canceled
+			}
+			j.err = rec.Error
+			j.finished = rec.TS
+			m.jobs[id] = j
+		case recExpired:
+			j := recoveredJob(rec)
+			j.state = Expired
+			j.finished = rec.TS
+			j.expired = rec.TS
+			m.jobs[id] = j
+		case recJobDel:
+			// Forgotten entirely.
+		}
+	}
+
+	// Orphan GC: everything in the spill directory the journal does not
+	// vouch for is a leftover from the crash — partial results, scratch
+	// files, damaged datasets — and is removed.
+	entries, err := os.ReadDir(m.dir)
+	if err != nil {
+		return fmt.Errorf("jobs: recovery scan: %w", err)
+	}
+	for _, e := range entries {
+		path := filepath.Join(m.dir, e.Name())
+		if keep[path] || e.IsDir() {
+			continue
+		}
+		if err := os.Remove(path); err == nil {
+			m.orphansRemoved.Add(1)
+			m.filesRemoved.Add(1)
+		}
+	}
+
+	return m.compactJournal()
+}
+
+// recoveredJob rebuilds a job skeleton from its last journal record.
+// Recovered jobs are always terminal: accounted is set so no hook ever
+// fires for them (the hooks' Enqueue side was lost with the old
+// process), and they carry no context or cancel func.
+func recoveredJob(rec record) *job {
+	return &job{
+		id:        rec.ID,
+		typ:       rec.JobType,
+		datasetID: rec.Dataset,
+		records:   rec.Records,
+		created:   rec.TS,
+		accounted: true,
+	}
+}
+
+// checkSealed is the recovery pass's structural integrity probe on a
+// sealed file: it must exist at exactly its journaled size and carry a
+// well-formed sidecar that agrees. Block checksums are verified lazily
+// at stream time by VerifiedReader (scanning every dataset end to end
+// on startup would make restart cost proportional to stored bytes).
+func checkSealed(path string, bytes int64) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if fi.Size() != bytes {
+		return fmt.Errorf("size %d, journaled %d", fi.Size(), bytes)
+	}
+	side, err := os.Stat(path + extsort.ChecksumSuffix)
+	if err != nil {
+		return err
+	}
+	// 16-byte header + at least one CRC per block; exact agreement is
+	// checked by readSidecar when the file is streamed.
+	if side.Size() < 16 {
+		return fmt.Errorf("sidecar truncated to %d bytes", side.Size())
+	}
+	return nil
+}
+
+// compactJournal rewrites the journal to one record per live ID —
+// replayed state plus nothing — so it does not grow without bound
+// across restarts. The rewrite is crash-safe: write a temp file, fsync
+// it, rename over the journal, fsync the directory.
+func (m *Manager) compactJournal() error {
+	var recs []record
+	for id, ds := range m.datasets {
+		recs = append(recs, record{
+			T: recDataset, TS: ds.Created, ID: id,
+			Records: ds.Records, Bytes: ds.Bytes,
+		})
+	}
+	for id, j := range m.jobs {
+		rec := record{
+			TS: j.created, ID: id, JobType: j.typ,
+			Dataset: j.datasetID, Records: j.records,
+		}
+		switch j.state {
+		case Done:
+			rec.T, rec.Bytes = recDone, j.resultBytes
+		case Failed:
+			rec.T, rec.Error = recFailed, j.err
+		case Canceled:
+			rec.T = recCanceled
+		case Expired:
+			rec.T = recExpired
+		default:
+			continue
+		}
+		recs = append(recs, rec)
+	}
+
+	path := filepath.Join(m.dir, journalName)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return fmt.Errorf("jobs: compact journal: %w", err)
+	}
+	var sb strings.Builder
+	for _, rec := range recs {
+		line, err := marshalRecord(rec)
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		sb.Write(line)
+	}
+	if _, err := f.WriteString(sb.String()); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("jobs: compact journal: %w", err)
+	}
+	if m.cfg.Fsync != FsyncNever {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("jobs: compact journal fsync: %w", err)
+		}
+		m.fsyncs.Add(1)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("jobs: compact journal: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("jobs: compact journal: %w", err)
+	}
+	if m.cfg.Fsync != FsyncNever {
+		m.syncDir()
+	}
+	return nil
+}
+
+// syncDir fsyncs the spill directory so renames within it are durable.
+// Best-effort: some filesystems refuse directory fsync; the rename is
+// still atomic, only its durability timing weakens.
+func (m *Manager) syncDir() {
+	d, err := os.Open(m.dir)
+	if err != nil {
+		return
+	}
+	if d.Sync() == nil {
+		m.fsyncs.Add(1)
+	}
+	d.Close()
+}

@@ -1,0 +1,276 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mergepath/internal/extsort"
+)
+
+// recoveryDataset builds an n-record unsorted payload.
+func recoveryDataset(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	buf := make([]byte, n*extsort.RecordBytes)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(buf[i*extsort.RecordBytes:], uint64(rng.Int63()))
+	}
+	return buf
+}
+
+// waitDone polls a job to a terminal state.
+func waitDone(t *testing.T, m *Manager, id string) View {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		v, ok := m.Get(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if v.State.terminal() {
+			return v
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return View{}
+}
+
+// streamResult reads a job's full verified result.
+func streamResult(t *testing.T, m *Manager, id string) []byte {
+	t.Helper()
+	r, _, err := m.OpenResult(id)
+	if err != nil {
+		t.Fatalf("open result: %v", err)
+	}
+	defer r.Close()
+	b, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("stream result: %v", err)
+	}
+	return b
+}
+
+// TestRestartRecovery is the in-process kill-restart drill `make verify`
+// runs (the out-of-process SIGKILL variant is scripts/restart-soak.sh):
+// a journaled manager uploads a dataset and finishes a job; a fake
+// in-flight job and stray temp files simulate a crash mid-sort; a
+// second manager over the same spill directory must re-register the
+// dataset and the byte-identical result, fail the in-flight job with a
+// client-visible restart reason, remove the orphans, and detect
+// deliberate corruption of the recovered result.
+func TestRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	const n = 40_000
+	payload := recoveryDataset(n, 1)
+
+	m1, err := New(Config{Dir: dir, MemoryRecords: 4096, GCInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := m1.CreateDataset(bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m1.Submit("sortfile", ds.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitDone(t, m1, v.ID); got.State != Done {
+		t.Fatalf("job ended %s: %s", got.State, got.Error)
+	}
+	want := streamResult(t, m1, v.ID)
+	if !sorted(want) {
+		t.Fatal("result is not sorted")
+	}
+
+	// Simulate a crash mid-job: journal records for a job that never
+	// reached a terminal state, plus the partial files it would leave.
+	// (m1's graceful Close writes nothing for this fake job, so to the
+	// journal it looks exactly like a SIGKILL mid-sort.)
+	fake := record{T: recAccepted, ID: "job-fake-1", JobType: "sortfile", Dataset: ds.ID, Records: n}
+	if err := m1.jnl.append(fake); err != nil {
+		t.Fatal(err)
+	}
+	fake.T = recRunning
+	if err := m1.jnl.append(fake); err != nil {
+		t.Fatal(err)
+	}
+	for _, orphan := range []string{"job-fake-1.result.tmp", "job-fake-1.scratch", "stray.bin"} {
+		if err := os.WriteFile(filepath.Join(dir, orphan), []byte("partial"), 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A torn final journal line — the classic crash artifact.
+	jf, err := os.OpenFile(filepath.Join(dir, journalName), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jf.WriteString(`{"t":"job-acc`); err != nil {
+		t.Fatal(err)
+	}
+	jf.Close()
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart.
+	m2, err := New(Config{Dir: dir, MemoryRecords: 4096, GCInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+
+	if _, ok := m2.GetDataset(ds.ID); !ok {
+		t.Fatal("dataset not recovered")
+	}
+	got, ok := m2.Get(v.ID)
+	if !ok || got.State != Done {
+		t.Fatalf("done job not recovered: ok=%v state=%v", ok, got.State)
+	}
+	if b := streamResult(t, m2, v.ID); !bytes.Equal(b, want) {
+		t.Fatal("recovered result is not byte-identical")
+	}
+	fk, ok := m2.Get("job-fake-1")
+	if !ok {
+		t.Fatal("in-flight job vanished instead of failing")
+	}
+	if fk.State != Failed || !strings.Contains(fk.Error, "restart") {
+		t.Fatalf("in-flight job: state=%s error=%q, want failed(restart)", fk.State, fk.Error)
+	}
+	for _, orphan := range []string{"job-fake-1.result.tmp", "job-fake-1.scratch", "stray.bin"} {
+		if _, err := os.Stat(filepath.Join(dir, orphan)); !os.IsNotExist(err) {
+			t.Fatalf("orphan %s survived recovery", orphan)
+		}
+	}
+	snap := m2.Snapshot().Durability
+	if !snap.JournalEnabled {
+		t.Fatal("journal not enabled")
+	}
+	if snap.JournalReplayed == 0 || snap.RecoveredDatasets != 1 || snap.RecoveredResults != 1 ||
+		snap.RecoveredFailed != 1 || snap.OrphansRemoved != 3 {
+		t.Fatalf("durability counters off: %+v", snap)
+	}
+
+	// The recovered dataset is still usable for new work.
+	v2, err := m2.Submit("sortfile", ds.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitDone(t, m2, v2.ID); got.State != Done {
+		t.Fatalf("post-restart job ended %s: %s", got.State, got.Error)
+	}
+	if b := streamResult(t, m2, v2.ID); !bytes.Equal(b, want) {
+		t.Fatal("post-restart sort differs")
+	}
+
+	// Corrupt the recovered result on disk: streaming must fail with a
+	// typed corruption error and bump corruption_detected_total.
+	resPath := filepath.Join(dir, v.ID+".result")
+	raw, err := os.ReadFile(resPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x10
+	if err := os.WriteFile(resPath, raw, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	r, _, err := m2.OpenResult(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cerr := io.ReadAll(r)
+	r.Close()
+	if !errors.Is(cerr, extsort.ErrCorrupt) {
+		t.Fatalf("corrupted result streamed without a typed error: %v", cerr)
+	}
+	if c := m2.Snapshot().Durability.CorruptionDetected; c == 0 {
+		t.Fatal("corruption_detected_total not incremented")
+	}
+}
+
+// TestRestartRecoveryDamagedResult covers the uglier crash: the journal
+// committed job-done but the result file itself was lost — the job must
+// come back failed with a restart reason, not done with a 404 body.
+func TestRestartRecoveryDamagedResult(t *testing.T) {
+	dir := t.TempDir()
+	payload := recoveryDataset(10_000, 2)
+	m1, err := New(Config{Dir: dir, MemoryRecords: 4096, GCInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := m1.CreateDataset(bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m1.Submit("sortfile", ds.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitDone(t, m1, v.ID); got.State != Done {
+		t.Fatalf("job ended %s: %s", got.State, got.Error)
+	}
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, v.ID+".result")); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := New(Config{Dir: dir, MemoryRecords: 4096, GCInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	got, ok := m2.Get(v.ID)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+	if got.State != Failed || !strings.Contains(got.Error, "restart") {
+		t.Fatalf("lost result: state=%s error=%q, want failed(restart)", got.State, got.Error)
+	}
+	snap := m2.Snapshot().Durability
+	if snap.CorruptionDetected == 0 {
+		t.Fatal("lost result not counted as corruption")
+	}
+}
+
+// TestJournalDisabled confirms -journal=false leaves the spill dir
+// journal-free while everything else keeps working.
+func TestJournalDisabled(t *testing.T) {
+	dir := t.TempDir()
+	m, err := New(Config{Dir: dir, MemoryRecords: 4096, DisableJournal: true, GCInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.CreateDataset(bytes.NewReader(recoveryDataset(1000, 3))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, journalName)); !os.IsNotExist(err) {
+		t.Fatal("journal written despite DisableJournal")
+	}
+	if m.Snapshot().Durability.JournalEnabled {
+		t.Fatal("snapshot claims journal enabled")
+	}
+}
+
+// sorted reports whether a little-endian record buffer is non-decreasing.
+func sorted(b []byte) bool {
+	var prev int64
+	for i := 0; i+extsort.RecordBytes <= len(b); i += extsort.RecordBytes {
+		v := int64(binary.LittleEndian.Uint64(b[i:]))
+		if i > 0 && v < prev {
+			return false
+		}
+		prev = v
+	}
+	return true
+}

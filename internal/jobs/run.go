@@ -54,24 +54,40 @@ func (m *Manager) runJob(j *job) {
 	m.running++
 	j.spans = append(j.spans, Span{Name: "queue_wait", StartMS: 0, DurMS: millis(j.started.Sub(j.created))})
 	m.mu.Unlock()
+	m.jnl.append(record{T: recRunning, ID: j.id, JobType: j.typ, Dataset: j.datasetID, Records: j.records})
 
+	// The sort runs against a .result.tmp file; only after the sorted
+	// data is fsynced and checksummed is it renamed to .result, and only
+	// after the rename does the journal commit the job as done. A crash
+	// in any window leaves either a tmp file (orphan, GC'd at restart)
+	// or a result the journal does not vouch for (same) — never a
+	// half-written file a client can stream.
 	resultPath := filepath.Join(m.dir, j.id+".result")
+	tmpPath := resultPath + ".tmp"
 	scratchPath := filepath.Join(m.dir, j.id+".scratch")
+	cleanup := func() {
+		m.removeFile(tmpPath)
+		m.removeFile(scratchPath)
+	}
 	defer func() {
 		if r := recover(); r != nil {
-			m.removeFile(resultPath)
-			m.removeFile(scratchPath)
+			cleanup()
 			m.mu.Lock()
-			m.finalizeLocked(j, Failed, fmt.Errorf("jobs: panic: %v", r))
+			post := m.finalizeLocked(j, Failed, fmt.Errorf("jobs: panic: %v", r))
 			m.mu.Unlock()
+			if post != nil {
+				post()
+			}
 		}
 	}()
 
-	err := m.execute(j, resultPath, scratchPath)
+	err := m.execute(j, tmpPath, scratchPath)
+	if err == nil {
+		err = m.sealResult(tmpPath, resultPath)
+	}
 	state := Done
 	if err != nil {
-		m.removeFile(resultPath)
-		m.removeFile(scratchPath)
+		cleanup()
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			state = Canceled
 		} else {
@@ -83,12 +99,58 @@ func (m *Manager) runJob(j *job) {
 		j.resultPath = resultPath
 		j.resultBytes = int64(j.records) * extsort.RecordBytes
 	}
-	m.finalizeLocked(j, state, err)
+	post := m.finalizeLocked(j, state, err)
 	m.mu.Unlock()
+	if post != nil {
+		post()
+	}
 }
 
-// execute is the fallible body of runJob. On success the sorted result
-// is at resultPath and the scratch file is already removed.
+// sealResult publishes a finished sort atomically: fsync the sorted
+// tmp file (per policy), write its checksum sidecar, rename sidecar
+// then data into place, and fsync the directory. After sealResult
+// returns the result is streamable and verifiable; the journal's
+// job-done record (appended by finalize) is what commits it against
+// restart.
+func (m *Manager) sealResult(tmpPath, resultPath string) error {
+	sync := m.cfg.Fsync != FsyncNever
+	if sync {
+		f, err := os.OpenFile(tmpPath, os.O_WRONLY, 0)
+		if err != nil {
+			return fmt.Errorf("jobs: seal result: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("jobs: seal result fsync: %w", err)
+		}
+		m.fsyncs.Add(1)
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("jobs: seal result: %w", err)
+		}
+	}
+	if _, err := extsort.WriteChecksumFile(tmpPath, m.cfg.BlockRecords, sync); err != nil {
+		return fmt.Errorf("jobs: seal result: %w", err)
+	}
+	if sync {
+		m.fsyncs.Add(1) // the sidecar fsync inside WriteChecksumFile
+	}
+	// Sidecar first: a visible .result always has its .crc.
+	if err := os.Rename(tmpPath+extsort.ChecksumSuffix, resultPath+extsort.ChecksumSuffix); err != nil {
+		return fmt.Errorf("jobs: seal result: %w", err)
+	}
+	if err := os.Rename(tmpPath, resultPath); err != nil {
+		os.Remove(resultPath + extsort.ChecksumSuffix)
+		return fmt.Errorf("jobs: seal result: %w", err)
+	}
+	if sync {
+		m.syncDir()
+	}
+	return nil
+}
+
+// execute is the fallible body of runJob. On success the sorted (but
+// not yet sealed) result is at resultPath — the caller's .result.tmp —
+// and the scratch file is already removed.
 func (m *Manager) execute(j *job, resultPath, scratchPath string) error {
 	if inj := m.cfg.Fault; inj != nil {
 		if err := inj.Before("job"); err != nil {
@@ -117,12 +179,14 @@ func (m *Manager) execute(j *job, resultPath, scratchPath string) error {
 		return err
 	}
 	defer dev.Close()
+	dev.SetFault(m.cfg.Fault)
 	scratch, err := extsort.CreateFileDevice(scratchPath, j.records, m.cfg.BlockRecords)
 	if err != nil {
 		return err
 	}
 	// The scratch file is pure temp state: remove it on every exit path.
 	defer scratch.Remove()
+	scratch.SetFault(m.cfg.Fault)
 
 	if inj := m.cfg.Fault; inj != nil {
 		if err := inj.Before("sortfile"); err != nil {
@@ -175,15 +239,21 @@ func (m *Manager) execute(j *job, resultPath, scratchPath string) error {
 	return dev.Close()
 }
 
-// copyIn streams the dataset file into the job's result file in chunks,
-// checking the job context between chunks and feeding the copy-in share
-// of the progress bar.
+// copyIn streams the dataset file into the job's tmp result file in
+// chunks through the checksum-verifying reader — a dataset rotted on
+// disk fails the job with a typed corruption error instead of sorting
+// garbage — checking the job context between chunks and feeding the
+// copy-in share of the progress bar.
 func (m *Manager) copyIn(j *job, resultPath string) error {
-	src, err := os.Open(j.dsPath)
+	src, err := extsort.OpenVerifiedReader(j.dsPath)
 	if err != nil {
+		if errors.Is(err, extsort.ErrCorrupt) {
+			m.corruption.Add(1)
+		}
 		return fmt.Errorf("jobs: open dataset: %w", err)
 	}
 	defer src.Close()
+	src.SetFault(m.cfg.Fault)
 	dst, err := os.OpenFile(resultPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
 	if err != nil {
 		return fmt.Errorf("jobs: create result: %w", err)
@@ -212,6 +282,9 @@ func (m *Manager) copyIn(j *job, resultPath string) error {
 		}
 		if rerr != nil {
 			dst.Close()
+			if errors.Is(rerr, extsort.ErrCorrupt) {
+				m.corruption.Add(1)
+			}
 			return fmt.Errorf("jobs: copy-in: %w", rerr)
 		}
 	}

@@ -320,3 +320,138 @@ func TestJobsAPIErrorsAndCancel(t *testing.T) {
 		t.Fatalf("re-cancel %d", c2.StatusCode)
 	}
 }
+
+// TestDatasetDeleteDefersUntilJobReleases is the regression test for the
+// DELETE-vs-running-job race: deleting a dataset while a job still needs
+// it answers 200 and hides the record immediately, but the backing file
+// survives until the job releases it — the sort completes correctly
+// instead of failing on an unlinked input.
+func TestDatasetDeleteDefersUntilJobReleases(t *testing.T) {
+	// Latency on the "job" op lands BEFORE copy-in, so the delete below
+	// races the job's first read of the dataset — the exact window the
+	// refcount exists for.
+	inj, err := fault.Parse("job:latency=300ms@1", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Workers: 2, Fault: inj,
+		Jobs: jobs.Config{MemoryRecords: 4096, MaxConcurrent: 1}})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	defer s.Drain(t.Context())
+
+	rng := rand.New(rand.NewSource(9))
+	vals := make([]int64, 8192)
+	for i := range vals {
+		vals[i] = rng.Int63() - rng.Int63()
+	}
+	ds := postDataset(t, ts.URL, encodeRecords(vals))
+	v, st := submitJob(t, ts.URL, ds.ID)
+	if st != http.StatusAccepted {
+		t.Fatalf("submit %d", st)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/datasets/"+ds.ID, nil)
+	delResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	if delResp.StatusCode != http.StatusOK {
+		t.Fatalf("delete during job %d", delResp.StatusCode)
+	}
+	gone, err := http.Get(ts.URL + "/v1/datasets/" + ds.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gone.Body.Close()
+	if gone.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleted dataset still answers %d", gone.StatusCode)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		got, _ := getJob(t, ts.URL, v.ID)
+		if got.State == jobs.Done {
+			break
+		}
+		if got.State != jobs.Pending && got.State != jobs.Running {
+			t.Fatalf("job ended %s: %s (dataset yanked mid-read?)", got.State, got.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	slices.Sort(vals)
+	if !bytes.Equal(raw, encodeRecords(vals)) {
+		t.Fatal("result wrong after deferred dataset delete")
+	}
+	// The deferred removal ran at job finalize: the file is gone now.
+	if _, ok := s.Jobs().GetDataset(ds.ID); ok {
+		t.Fatal("dataset record resurrected")
+	}
+}
+
+// TestResultStreamPinsAgainstTTL is the regression test for the
+// result-stream-vs-GC race: a sweep that would expire the job fires
+// while the result stream is open, and the stream must still complete
+// byte-perfect — expiry is deferred until the stream closes.
+func TestResultStreamPinsAgainstTTL(t *testing.T) {
+	s := New(Config{Workers: 2, Jobs: jobs.Config{MemoryRecords: 4096}})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	defer s.Drain(t.Context())
+
+	rng := rand.New(rand.NewSource(10))
+	vals := make([]int64, 8192)
+	for i := range vals {
+		vals[i] = rng.Int63() - rng.Int63()
+	}
+	ds := postDataset(t, ts.URL, encodeRecords(vals))
+	v, st := submitJob(t, ts.URL, ds.ID)
+	if st != http.StatusAccepted {
+		t.Fatalf("submit %d", st)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		got, _ := getJob(t, ts.URL, v.ID)
+		if got.State == jobs.Done {
+			break
+		}
+		if (got.State != jobs.Pending && got.State != jobs.Running) || time.Now().After(deadline) {
+			t.Fatalf("job ended %s: %s", got.State, got.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	r, _, err := s.Jobs().OpenResult(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A sweep far past every TTL while the stream is open: the open
+	// stream must pin the job's files.
+	s.Jobs().Sweep(time.Now().Add(time.Hour))
+	raw, err := io.ReadAll(r)
+	if cerr := r.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatalf("stream raced GC: %v", err)
+	}
+	slices.Sort(vals)
+	if !bytes.Equal(raw, encodeRecords(vals)) {
+		t.Fatal("streamed result differs")
+	}
+	// With the stream closed the same sweep expires the job normally.
+	s.Jobs().Sweep(time.Now().Add(time.Hour))
+	got, _ := getJob(t, ts.URL, v.ID)
+	if got.State != jobs.Expired {
+		t.Fatalf("job not expired after stream closed: %s", got.State)
+	}
+}

@@ -121,6 +121,31 @@ func renderProm(snap MetricsSnapshot) string {
 		w.Counter("mergepathd_jobs_gc_sweeps_total", "", "TTL garbage-collection passes.", float64(j.GCSweeps))
 		w.Counter("mergepathd_jobs_files_removed_total", "", "Spill files deleted (GC, cancel cleanup, dataset deletion).", float64(j.FilesRemoved))
 		w.Counter("mergepathd_jobs_result_aborts_total", "", "Job result streams that died mid-body (client disconnect or read failure).", float64(j.ResultAborts))
+
+		// Durability: write-ahead journal, fsync discipline, restart
+		// recovery and checksum verdicts (docs/DURABILITY.md).
+		d := j.Durability
+		enabled := 0.0
+		if d.JournalEnabled {
+			enabled = 1
+		}
+		w.Gauge("mergepathd_jobs_journal_enabled", "", "1 when the write-ahead manifest journal is active (-journal with a real -spill-dir).", enabled)
+		for _, pol := range []string{"always", "state", "never"} {
+			v := 0.0
+			if d.FsyncPolicy == pol {
+				v = 1
+			}
+			w.Gauge("mergepathd_jobs_fsync_policy", `policy="`+pol+`"`,
+				"Configured fsync policy, one-hot: 1 on the series matching -fsync-policy.", v)
+		}
+		w.Counter("mergepathd_jobs_journal_appends_total", "", "Records appended to the write-ahead manifest journal.", float64(d.JournalAppends))
+		w.Counter("mergepathd_jobs_journal_replayed_total", "", "Journal records replayed by the startup recovery pass.", float64(d.JournalReplayed))
+		w.Counter("mergepathd_jobs_fsyncs_total", "", "fsync calls issued by the jobs subsystem (journal, data seals, directory).", float64(d.Fsyncs))
+		w.Counter("mergepathd_jobs_recovered_datasets_total", "", "Datasets re-registered intact by the startup recovery pass.", float64(d.RecoveredDatasets))
+		w.Counter("mergepathd_jobs_recovered_results_total", "", "Done jobs whose results survived restart and were re-registered.", float64(d.RecoveredResults))
+		w.Counter("mergepathd_jobs_recovered_failed_total", "", "In-flight jobs marked failed(restart) by the recovery pass.", float64(d.RecoveredFailed))
+		w.Counter("mergepathd_jobs_orphans_removed_total", "", "Unaccounted spill files removed by the recovery pass.", float64(d.OrphansRemoved))
+		w.Counter("mergepathd_jobs_corruption_detected_total", "", "Checksum and integrity failures detected (corruption is failed loudly, never streamed).", float64(d.CorruptionDetected))
 	}
 
 	// Per-endpoint request counters and latency summaries.

@@ -1,0 +1,158 @@
+#!/usr/bin/env bash
+# Kill-restart durability soak: one mergepathd on a real -spill-dir
+# finishes a sort job, then gets SIGKILLed while a second job is
+# running. A restarted daemon on the same spill dir must:
+#
+#   1. stream the completed result byte-identical (journal + checksums),
+#   2. report the in-flight job failed with a restart reason (never a
+#      hung "running"),
+#   3. leave zero orphaned temp files in the spill dir,
+#   4. detect a deliberately flipped result byte as corruption
+#      (mergepathd_jobs_corruption_detected_total >= 1), and
+#   5. expose the journal/recovery counters on /metrics/prom.
+#
+# Knobs (environment):
+#   PORT     daemon port (default 18200)
+#   RECORDS  dataset size in 8-byte records (default 400000)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT="${PORT:-18200}"
+RECORDS="${RECORDS:-400000}"
+BASE="http://127.0.0.1:$PORT"
+BIN=$(mktemp -d)
+WORK=$(mktemp -d)
+SPILL="$WORK/spill"
+LOGS=$(mktemp -d)
+DAEMON_PID=""
+
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    [ -n "$DAEMON_PID" ] && wait "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$BIN" "$WORK"
+    echo "restart-soak: logs kept in $LOGS"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "restart-soak: FAIL $*" >&2
+    exit 1
+}
+
+json_field() { # json_field <field> — first string value of "field"
+    grep -o "\"$1\":\"[^\"]*\"" | head -1 | cut -d'"' -f4
+}
+
+start_daemon() { # start_daemon [extra flags...]
+    "$BIN/mergepathd" -addr "127.0.0.1:$PORT" -workers 2 \
+        -spill-dir "$SPILL" -job-memory 16384 "$@" \
+        >>"$LOGS/mergepathd.log" 2>&1 &
+    DAEMON_PID=$!
+    for _ in $(seq 1 100); do
+        if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    fail "daemon never answered /healthz"
+}
+
+wait_job() { # wait_job <id> <want-state> <seconds>
+    local id=$1 want=$2 secs=$3 state=""
+    for _ in $(seq 1 $((secs * 10))); do
+        state=$(curl -fsS "$BASE/v1/jobs/$id" | json_field state)
+        [ "$state" = "$want" ] && return 0
+        case "$state" in failed | canceled | expired)
+            [ "$want" = "$state" ] || fail "job $id ended $state waiting for $want" ;;
+        esac
+        sleep 0.1
+    done
+    fail "job $id stuck in '$state' waiting for $want"
+}
+
+prom_value() { # prom_value <series> — numeric value from /metrics/prom
+    curl -fsS "$BASE/metrics/prom" | awk -v s="$1" '$1 == s {print $2}'
+}
+
+echo "restart-soak: building mergepathd"
+go build -o "$BIN/mergepathd" ./cmd/mergepathd
+
+echo "restart-soak: dataset of $RECORDS records"
+head -c $((RECORDS * 8)) /dev/urandom >"$WORK/data.bin"
+
+# Phase 1: a daemon whose sorts stall 5s mid-job (injected latency), so
+# the SIGKILL below lands deterministically while a job is running.
+start_daemon -fault "sortfile:latency=5s@1"
+
+DS=$(curl -fsS -X POST --data-binary @"$WORK/data.bin" \
+    -H 'Content-Type: application/octet-stream' "$BASE/v1/datasets" | json_field id)
+[ -n "$DS" ] || fail "dataset upload returned no id"
+echo "restart-soak: dataset $DS"
+
+JOB1=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d "{\"type\":\"sortfile\",\"dataset\":\"$DS\"}" "$BASE/v1/jobs" | json_field id)
+[ -n "$JOB1" ] || fail "job submit returned no id"
+echo "restart-soak: job1 $JOB1 (will complete)"
+wait_job "$JOB1" done 60
+curl -fsS "$BASE/v1/jobs/$JOB1/result" -o "$WORK/result1.bin"
+SHA1=$(sha256sum "$WORK/result1.bin" | cut -d' ' -f1)
+echo "restart-soak: job1 result $SHA1"
+
+JOB2=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d "{\"type\":\"sortfile\",\"dataset\":\"$DS\"}" "$BASE/v1/jobs" | json_field id)
+[ -n "$JOB2" ] || fail "second job submit returned no id"
+wait_job "$JOB2" running 30
+echo "restart-soak: job2 $JOB2 is running — SIGKILL mid-job"
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+
+# Phase 2: restart on the same spill dir, no faults.
+echo "restart-soak: restarting on the same -spill-dir"
+start_daemon
+
+# 1. Completed result byte-identical and still streamable.
+curl -fsS "$BASE/v1/jobs/$JOB1/result" -o "$WORK/result1b.bin" \
+    || fail "recovered result not streamable"
+SHA1B=$(sha256sum "$WORK/result1b.bin" | cut -d' ' -f1)
+[ "$SHA1" = "$SHA1B" ] || fail "recovered result differs ($SHA1 vs $SHA1B)"
+echo "restart-soak: recovered result byte-identical"
+
+# 2. In-flight job failed with a restart reason, not hung.
+JOB2_DOC=$(curl -fsS "$BASE/v1/jobs/$JOB2")
+JOB2_STATE=$(printf '%s' "$JOB2_DOC" | json_field state)
+[ "$JOB2_STATE" = "failed" ] || fail "in-flight job is '$JOB2_STATE', want failed: $JOB2_DOC"
+case "$JOB2_DOC" in
+*restart*) ;;
+*) fail "in-flight job error lacks a restart reason: $JOB2_DOC" ;;
+esac
+echo "restart-soak: in-flight job failed(restart) as required"
+
+# 3. Zero orphaned temp files.
+ORPHANS=$(find "$SPILL" -name '*.tmp' -o -name '*.scratch' | wc -l)
+[ "$ORPHANS" -eq 0 ] || fail "$ORPHANS orphaned temp files survived recovery: $(ls "$SPILL")"
+echo "restart-soak: no orphaned temp files"
+
+# 5. Journal/recovery counters visible on /metrics/prom.
+REPLAYED=$(prom_value mergepathd_jobs_journal_replayed_total)
+RECOVERED=$(prom_value mergepathd_jobs_recovered_results_total)
+RECFAILED=$(prom_value mergepathd_jobs_recovered_failed_total)
+[ "${REPLAYED:-0}" -gt 0 ] || fail "journal_replayed_total is ${REPLAYED:-missing}"
+[ "${RECOVERED:-0}" -ge 1 ] || fail "recovered_results_total is ${RECOVERED:-missing}"
+[ "${RECFAILED:-0}" -ge 1 ] || fail "recovered_failed_total is ${RECFAILED:-missing}"
+echo "restart-soak: recovery counters: replayed=$REPLAYED results=$RECOVERED failed=$RECFAILED"
+
+# 4. Flip one byte of the completed result on disk: the stream must
+# abort (typed corruption, not silent wrong bytes) and the counter rise.
+dd if=/dev/zero of="$SPILL/$JOB1.result" bs=1 count=1 \
+    seek=$((RECORDS * 4 + 3)) conv=notrunc status=none
+if curl -fsS "$BASE/v1/jobs/$JOB1/result" -o "$WORK/corrupt.bin" 2>>"$LOGS/curl.log"; then
+    SHAC=$(sha256sum "$WORK/corrupt.bin" | cut -d' ' -f1)
+    [ "$SHAC" != "$SHA1" ] || fail "corrupted result streamed as if intact"
+fi
+CORRUPT=$(prom_value mergepathd_jobs_corruption_detected_total)
+[ "${CORRUPT:-0}" -ge 1 ] || fail "corruption_detected_total is ${CORRUPT:-missing} after byte flip"
+echo "restart-soak: corruption detected (counter=$CORRUPT)"
+
+echo "restart-soak: PASS — journal replay, byte-identical results, failed(restart) in-flight jobs, no orphans, corruption detected"
